@@ -1,0 +1,42 @@
+//! Criterion version of **Figure 3** (runtime vs library size `b`) at a
+//! statistically samplable scale. The full-scale table is produced by the
+//! `fig3` binary.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbuf_bench::paper_net;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, Solver};
+
+fn bench_library_sweep(c: &mut Criterion) {
+    let tree = paper_net(150, Some(2000));
+    let mut g = c.benchmark_group("fig3_library_size");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for b in [8usize, 16, 32, 64] {
+        let lib = BufferLibrary::paper_synthetic(b).unwrap();
+        for algo in [Algorithm::Lillis, Algorithm::LiShi] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), b),
+                &b,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(
+                            Solver::new(black_box(&tree), black_box(&lib))
+                                .algorithm(algo)
+                                .track_predecessors(false)
+                                .solve()
+                                .slack,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_library_sweep);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion version of **Figure 4** (runtime vs buffer positions `n` at
+//! `b = 32`) at a statistically samplable scale. The full-scale table is
+//! produced by the `fig4` binary.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbuf_bench::paper_net;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, Solver};
+
+fn bench_position_sweep(c: &mut Criterion) {
+    let lib = BufferLibrary::paper_synthetic(32).unwrap();
+    let mut g = c.benchmark_group("fig4_positions");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for n in [500usize, 1000, 2000, 4000] {
+        let tree = paper_net(150, Some(n));
+        for algo in [Algorithm::Lillis, Algorithm::LiShi] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(
+                            Solver::new(black_box(&tree), black_box(&lib))
+                                .algorithm(algo)
+                                .track_predecessors(false)
+                                .solve()
+                                .slack,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_position_sweep);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the three DP operations the paper
+//! analyses: convex pruning / hull construction (Lemma 2), wire
+//! propagation, and branch merging.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbuf_core::{
+    convex_prune_in_place, merge_branches, upper_hull_into, Candidate, CandidateList, PredArena,
+    PredRef,
+};
+
+/// Deterministic pseudo-random nonredundant staircase of `k` candidates.
+fn staircase(k: usize, seed: u64) -> CandidateList {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    let mut q = 0.0;
+    let mut c = 0.0;
+    let mut v = Vec::with_capacity(k);
+    for _ in 0..k {
+        q += rnd() * 1e-12 + 1e-15;
+        c += rnd() * 1e-15 + 1e-18;
+        v.push(Candidate::new(q, c, PredRef::NONE));
+    }
+    CandidateList::from_sorted(v)
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hull");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    for k in [100usize, 1000, 10_000] {
+        let list = staircase(k, 42);
+        let mut hull = Vec::with_capacity(k);
+        g.bench_with_input(BenchmarkId::new("upper_hull_into", k), &k, |b, _| {
+            b.iter(|| {
+                upper_hull_into(black_box(list.as_slice()), &mut hull);
+                black_box(hull.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("convex_prune_in_place", k), &k, |b, _| {
+            b.iter(|| {
+                let mut l = list.clone();
+                black_box(convex_prune_in_place(&mut l))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    for k in [100usize, 1000, 10_000] {
+        let list = staircase(k, 7);
+        g.bench_with_input(BenchmarkId::new("add_wire", k), &k, |b, _| {
+            b.iter(|| {
+                let mut l = list.clone();
+                l.add_wire(black_box(3.8), black_box(5.9e-15));
+                black_box(l.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    for k in [100usize, 1000, 10_000] {
+        let left = staircase(k, 1);
+        let right = staircase(k, 2);
+        g.bench_with_input(BenchmarkId::new("merge_branches", k), &k, |b, _| {
+            b.iter(|| {
+                let mut arena = PredArena::new();
+                let out = merge_branches(
+                    black_box(left.clone()),
+                    black_box(right.clone()),
+                    &mut arena,
+                    false,
+                );
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hull, bench_wire, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion comparison of the three full solvers on one medium net —
+//! a statistically sampled companion to the `table1` harness.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbuf_bench::paper_net;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, Solver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let tree = paper_net(100, Some(1200));
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for b in [8usize, 32] {
+        let lib = BufferLibrary::paper_synthetic(b).unwrap();
+        for algo in Algorithm::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("b{b}")),
+                &algo,
+                |bench, &algo| {
+                    bench.iter(|| {
+                        let sol = Solver::new(black_box(&tree), black_box(&lib))
+                            .algorithm(algo)
+                            .track_predecessors(false)
+                            .solve();
+                        black_box(sol.slack)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

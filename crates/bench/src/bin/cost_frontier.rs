@@ -1,0 +1,61 @@
+//! Extension **X4**: the slack-vs-cost Pareto frontier.
+//!
+//! The paper's conclusion notes the algorithm "can also be applied to
+//! reduce buffer cost". This harness runs the cost-bounded solver
+//! (`fastbuf_core::cost::CostSolver`) on a medium net and prints the
+//! frontier: for each total buffer cost, the best achievable slack. The
+//! first row is the unbuffered net; the last matches the unconstrained
+//! solver's optimum.
+//!
+//! Run: `cargo run --release -p fastbuf-bench --bin cost_frontier`
+
+use fastbuf_bench::{paper_net, print_table, HarnessOptions};
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::cost::CostSolver;
+use fastbuf_core::Solver;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let m = opts.sinks(128);
+    let tree = paper_net(m, Some(m * 8));
+    let lib = BufferLibrary::paper_synthetic(8).expect("b > 0");
+    println!(
+        "# Slack-vs-cost frontier: m = {}, n = {}, b = {}\n",
+        m,
+        tree.buffer_site_count(),
+        lib.len()
+    );
+
+    let frontier = CostSolver::new(&tree, &lib)
+        .max_cost(200)
+        .solve()
+        .expect("integer costs");
+    let unconstrained = Solver::new(&tree, &lib).solve();
+
+    let mut rows = Vec::new();
+    let best = frontier.points.last().expect("frontier is never empty");
+    for p in &frontier.points {
+        rows.push(vec![
+            p.cost.to_string(),
+            p.placements.len().to_string(),
+            format!("{:.1}", p.slack.picos()),
+            format!(
+                "{:.1}%",
+                100.0 * (p.slack.picos() - frontier.points[0].slack.picos())
+                    / (best.slack.picos() - frontier.points[0].slack.picos()).max(1e-9)
+            ),
+        ]);
+    }
+    print_table(
+        &["cost", "buffers", "slack (ps)", "% of max improvement"],
+        &rows,
+    );
+    println!(
+        "\nUnconstrained optimum: {:.1} ps at cost {:.0}; frontier max: {:.1} ps at cost {}.",
+        unconstrained.slack.picos(),
+        unconstrained.total_cost(&lib),
+        best.slack.picos(),
+        best.cost
+    );
+    println!("Note how most of the improvement is available at a fraction of the maximum cost.");
+}

@@ -1,0 +1,210 @@
+//! Sets of buffer types, used to restrict which library entries are legal at
+//! a given buffer position (the paper's `f : V_int -> 2^B`).
+
+use std::fmt;
+
+use crate::buffer::BufferTypeId;
+
+/// A set of [`BufferTypeId`]s backed by a bit vector.
+///
+/// The set has a fixed *universe size* — the size of the library it refers
+/// to — so that complement-style queries ([`BufferSet::is_full`]) are
+/// well-defined.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::{BufferSet, BufferTypeId};
+///
+/// let mut set = BufferSet::empty(8);
+/// set.insert(BufferTypeId::new(1));
+/// set.insert(BufferTypeId::new(5));
+/// assert!(set.contains(BufferTypeId::new(5)));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.iter().map(|id| id.index()).collect::<Vec<_>>(), vec![1, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BufferSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl BufferSet {
+    /// Creates an empty set over a library of `universe` buffer types.
+    pub fn empty(universe: usize) -> Self {
+        BufferSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Creates the full set over a library of `universe` buffer types.
+    pub fn full(universe: usize) -> Self {
+        let mut set = Self::empty(universe);
+        for i in 0..universe {
+            set.insert(BufferTypeId::new(i));
+        }
+        set
+    }
+
+    /// The size of the universe (library) this set refers to.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds a buffer type to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn insert(&mut self, id: BufferTypeId) {
+        assert!(
+            id.index() < self.universe,
+            "buffer id {} outside universe of size {}",
+            id.index(),
+            self.universe
+        );
+        self.words[id.index() / 64] |= 1u64 << (id.index() % 64);
+    }
+
+    /// Removes a buffer type from the set.
+    pub fn remove(&mut self, id: BufferTypeId) {
+        if id.index() < self.universe {
+            self.words[id.index() / 64] &= !(1u64 << (id.index() % 64));
+        }
+    }
+
+    /// `true` if the set contains `id`. Ids outside the universe are never
+    /// contained.
+    #[inline]
+    pub fn contains(&self, id: BufferTypeId) -> bool {
+        let i = id.index();
+        i < self.universe && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of buffer types in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no buffer type is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if every type in the universe is in the set.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Iterates over the contained ids in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = BufferTypeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(BufferTypeId::new(wi * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<BufferTypeId> for BufferSet {
+    /// Collects ids into a set whose universe is just large enough for the
+    /// largest id.
+    fn from_iter<I: IntoIterator<Item = BufferTypeId>>(iter: I) -> Self {
+        let ids: Vec<BufferTypeId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        let mut set = BufferSet::empty(universe);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for BufferSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|id| id.index())).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BufferSet::empty(10);
+        assert!(e.is_empty());
+        assert!(!e.is_full());
+        assert_eq!(e.len(), 0);
+
+        let f = BufferSet::full(10);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 10);
+        assert!(f.contains(BufferTypeId::new(9)));
+        assert!(!f.contains(BufferTypeId::new(10)));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BufferSet::empty(70); // spans two words
+        s.insert(BufferTypeId::new(0));
+        s.insert(BufferTypeId::new(69));
+        assert!(s.contains(BufferTypeId::new(0)));
+        assert!(s.contains(BufferTypeId::new(69)));
+        assert_eq!(s.len(), 2);
+        s.remove(BufferTypeId::new(0));
+        assert!(!s.contains(BufferTypeId::new(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let mut s = BufferSet::empty(130);
+        for i in [3usize, 64, 65, 127, 129] {
+            s.insert(BufferTypeId::new(i));
+        }
+        let got: Vec<usize> = s.iter().map(|id| id.index()).collect();
+        assert_eq!(got, vec![3, 64, 65, 127, 129]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: BufferSet = [2usize, 5, 5, 0]
+            .into_iter()
+            .map(BufferTypeId::new)
+            .collect();
+        assert_eq!(s.universe(), 6);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn zero_universe_is_valid() {
+        let s = BufferSet::empty(0);
+        assert!(s.is_empty());
+        assert!(s.is_full()); // vacuously full
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = BufferSet::empty(4);
+        s.insert(BufferTypeId::new(4));
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let mut s = BufferSet::empty(8);
+        s.insert(BufferTypeId::new(1));
+        s.insert(BufferTypeId::new(3));
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny flag parser (the workspace deliberately avoids external CLI
+//! dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus bare `--switch`es.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `argv` given the sets of value-taking flags and switches.
+    ///
+    /// # Errors
+    ///
+    /// Unknown flags, missing values, and duplicate flags are reported as
+    /// strings ready for the user.
+    pub fn parse(
+        argv: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let name = arg
+                .strip_prefix("--")
+                .or_else(|| arg.strip_prefix('-'))
+                .ok_or_else(|| format!("unexpected argument `{arg}`"))?;
+            if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag `--{name}` needs a value"))?;
+                if flags.values.insert(name.to_owned(), value.clone()).is_some() {
+                    return Err(format!("flag `--{name}` given twice"));
+                }
+            } else if switch_flags.contains(&name) {
+                flags.switches.push(name.to_owned());
+            } else {
+                return Err(format!("unknown flag `--{name}`"));
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `T`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparseable values.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag `--{name}`: cannot parse `{v}`")),
+        }
+    }
+
+    /// Required value of `--name`.
+    ///
+    /// # Errors
+    ///
+    /// Reports the missing flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.value(name)
+            .ok_or_else(|| format!("flag `--{name}` is required"))
+    }
+
+    /// `true` if the switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(
+            &argv(&["--sinks", "40", "--stats", "-o", "out.net"]),
+            &["sinks", "o"],
+            &["stats"],
+        )
+        .unwrap();
+        assert_eq!(f.value("sinks"), Some("40"));
+        assert_eq!(f.value("o"), Some("out.net"));
+        assert!(f.switch("stats"));
+        assert!(!f.switch("placements"));
+        assert_eq!(f.parsed_or("sinks", 0usize).unwrap(), 40);
+        assert_eq!(f.parsed_or("seed", 9u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_unknown_missing_and_duplicates() {
+        assert!(Flags::parse(&argv(&["--nope"]), &[], &[]).is_err());
+        assert!(Flags::parse(&argv(&["--sinks"]), &["sinks"], &[]).is_err());
+        assert!(
+            Flags::parse(&argv(&["--sinks", "1", "--sinks", "2"]), &["sinks"], &[]).is_err()
+        );
+        assert!(Flags::parse(&argv(&["stray"]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn required_and_bad_parse() {
+        let f = Flags::parse(&argv(&["--size", "abc"]), &["size"], &[]).unwrap();
+        assert!(f.required("net").is_err());
+        assert!(f.parsed_or("size", 1usize).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use fastbuf_buflib::units::Microns;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::cost::CostSolver;
+use fastbuf_core::{Algorithm, Solver};
+use fastbuf_netgen::{caterpillar_net, h_tree, line_net, HTreeSpec, RandomNetSpec};
+use fastbuf_rctree::{elmore, io as netio, RoutingTree};
+
+use crate::args::Flags;
+
+const USAGE: &str = "usage:
+  fastbuf gen net  [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
+                   [--seed S] [--pitch UM] [--length UM] [--levels L] [-o FILE]
+  fastbuf gen lib  [--size B] [--jitter SEED] [-o FILE]
+  fastbuf info     --net FILE
+  fastbuf solve    --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+                   [--placements] [--stats] [--no-verify]
+  fastbuf frontier --net FILE --lib FILE [--max-cost W]";
+
+/// Dispatches `argv` to a subcommand.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("gen") => match argv.get(1).map(String::as_str) {
+            Some("net") => gen_net(&argv[2..]),
+            Some("lib") => gen_lib(&argv[2..]),
+            _ => Err(format!("`gen` needs `net` or `lib`\n{USAGE}")),
+        },
+        Some("info") => info(&argv[1..]),
+        Some("solve") => solve(&argv[1..]),
+        Some("frontier") => frontier(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn emit(flags: &Flags, content: &str) -> Result<(), String> {
+    match flags.value("o") {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}")),
+    }
+}
+
+fn load_net(flags: &Flags) -> Result<RoutingTree, String> {
+    let path = flags.required("net")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    netio::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_lib(flags: &Flags) -> Result<BufferLibrary, String> {
+    let path = flags.required("lib")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    BufferLibrary::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn gen_net(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        argv,
+        &["kind", "sinks", "sites", "seed", "pitch", "length", "levels", "o"],
+        &[],
+    )?;
+    let kind = flags.value("kind").unwrap_or("random");
+    let tree = match kind {
+        "random" => {
+            let sinks = flags.parsed_or("sinks", 64usize)?;
+            let mut spec = RandomNetSpec {
+                seed: flags.parsed_or("seed", 1u64)?,
+                ..RandomNetSpec::paper(sinks)
+            };
+            if let Some(p) = flags.value("pitch") {
+                let p: f64 = p.parse().map_err(|_| "bad --pitch".to_string())?;
+                spec.site_pitch = Some(Microns::new(p));
+            }
+            spec.build()
+        }
+        "line" => line_net(
+            Microns::new(flags.parsed_or("length", 10_000.0f64)?),
+            flags.parsed_or("sites", 99usize)?,
+        ),
+        "htree" => {
+            let levels = flags.parsed_or("levels", 3usize)?;
+            match flags.value("pitch") {
+                None => h_tree(levels),
+                Some(p) => {
+                    let p: f64 = p.parse().map_err(|_| "bad --pitch".to_string())?;
+                    HTreeSpec {
+                        levels,
+                        site_pitch: Some(Microns::new(p)),
+                        ..HTreeSpec::default()
+                    }
+                    .build()
+                }
+            }
+        }
+        "caterpillar" => caterpillar_net(
+            flags.parsed_or("sinks", 32usize)?,
+            Microns::new(flags.parsed_or("pitch", 400.0f64)?),
+            Microns::new(40.0),
+        ),
+        other => return Err(format!("unknown net kind `{other}`")),
+    };
+    emit(&flags, &netio::write(&tree))
+}
+
+fn gen_lib(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["size", "jitter", "o"], &[])?;
+    let size = flags.parsed_or("size", 16usize)?;
+    let lib = match flags.value("jitter") {
+        None => BufferLibrary::paper_synthetic(size),
+        Some(seed) => {
+            let seed: u64 = seed.parse().map_err(|_| "bad --jitter".to_string())?;
+            BufferLibrary::paper_synthetic_jittered(size, seed)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    emit(&flags, &lib.to_text())
+}
+
+fn info(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["net"], &[])?;
+    let tree = load_net(&flags)?;
+    println!("{}", tree.stats());
+    let report = elmore::evaluate(&tree, &BufferLibrary::empty(), &[])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "unbuffered slack: {} (critical sink {})",
+        report.slack, report.critical_sink
+    );
+    Ok(())
+}
+
+fn solve(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        argv,
+        &["net", "lib", "algo"],
+        &["placements", "stats", "no-verify"],
+    )?;
+    let tree = load_net(&flags)?;
+    let lib = load_lib(&flags)?;
+    let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
+
+    let unbuffered = elmore::evaluate(&tree, &lib, &[]).map_err(|e| e.to_string())?;
+    let solution = Solver::new(&tree, &lib).algorithm(algo).solve();
+
+    println!("algorithm:        {algo}");
+    println!("unbuffered slack: {}", unbuffered.slack);
+    println!(
+        "buffered slack:   {}  (improvement {})",
+        solution.slack,
+        solution.slack - unbuffered.slack
+    );
+    println!(
+        "buffers inserted: {}  (total cost {:.0})",
+        solution.placements.len(),
+        solution.total_cost(&lib)
+    );
+    if !flags.switch("no-verify") {
+        let measured = solution.verify(&tree, &lib).map_err(|e| e.to_string())?;
+        println!("verified:         forward Elmore evaluation measures {measured}");
+    }
+    if flags.switch("placements") {
+        for p in &solution.placements {
+            println!("  {} {}", p.node, lib.get(p.buffer).name());
+        }
+    }
+    if flags.switch("stats") {
+        println!("stats: {}", solution.stats);
+    }
+    Ok(())
+}
+
+fn frontier(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["net", "lib", "max-cost"], &[])?;
+    let tree = load_net(&flags)?;
+    let lib = load_lib(&flags)?;
+    let max_cost = flags.parsed_or("max-cost", 64u32)?;
+    let frontier = CostSolver::new(&tree, &lib)
+        .max_cost(max_cost)
+        .solve()
+        .map_err(|e| e.to_string())?;
+    println!("{:>8} {:>9} {:>16}", "cost", "buffers", "slack");
+    for p in &frontier.points {
+        println!(
+            "{:>8} {:>9} {:>16}",
+            p.cost,
+            p.placements.len(),
+            p.slack.to_string()
+        );
+    }
+    let base = frontier.points.first().expect("never empty");
+    let best = frontier.points.last().expect("never empty");
+    println!(
+        "\nimprovement {} over unbuffered at cost {}",
+        best.slack - base.slack,
+        best.cost
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        let argv: Vec<String> = vec!["frobnicate".into()];
+        assert!(run(&argv).is_err());
+        let argv: Vec<String> = vec!["gen".into(), "nothing".into()];
+        assert!(run(&argv).is_err());
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(run(&["--help".to_string()]).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("t.net");
+        let lib = dir.join("t.lib");
+
+        let argv: Vec<String> = [
+            "gen", "net", "--kind", "line", "--length", "8000", "--sites", "7",
+            "-o", net.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+
+        let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap();
+
+        let argv: Vec<String> = [
+            "solve", "--net", net.to_str().unwrap(), "--lib", lib.to_str().unwrap(),
+            "--placements", "--stats",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+
+        let argv: Vec<String> = [
+            "frontier", "--net", net.to_str().unwrap(), "--lib", lib.to_str().unwrap(),
+            "--max-cost", "40",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+
+        let argv: Vec<String> = ["info", "--net", net.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_accepts_every_net_kind() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-kinds-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        for (kind, extra) in [
+            ("random", vec!["--sinks", "12", "--seed", "3"]),
+            ("line", vec!["--length", "3000", "--sites", "4"]),
+            ("htree", vec!["--levels", "2", "--pitch", "300"]),
+            ("caterpillar", vec!["--sinks", "9", "--pitch", "250"]),
+        ] {
+            let net = dir.join(format!("{kind}.net"));
+            let mut argv: Vec<String> = ["gen", "net", "--kind", kind]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            argv.push("-o".into());
+            argv.push(net.to_str().unwrap().into());
+            run(&argv).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            // Generated files parse and report.
+            let argv: Vec<String> = ["info", "--net", net.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            run(&argv).unwrap_or_else(|e| panic!("{kind} info: {e}"));
+        }
+        let argv: Vec<String> = ["gen", "net", "--kind", "mystery"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&argv).unwrap_err().contains("unknown net kind"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_lib_with_jitter_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-lib-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let lib = dir.join("j.lib");
+        let argv: Vec<String> = [
+            "gen", "lib", "--size", "6", "--jitter", "11", "-o", lib.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        let parsed =
+            BufferLibrary::from_text(&fs::read_to_string(&lib).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_reports_missing_files() {
+        let argv: Vec<String> = ["solve", "--net", "/nonexistent.net", "--lib", "/nonexistent.lib"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&argv).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `fastbuf` — command-line buffer insertion.
+//!
+//! ```text
+//! fastbuf gen net  [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
+//!                  [--seed S] [--pitch UM] [-o FILE]
+//! fastbuf gen lib  [--size B] [--jitter SEED] [-o FILE]
+//! fastbuf info     --net FILE
+//! fastbuf solve    --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+//!                  [--placements] [--stats] [--no-verify]
+//! fastbuf frontier --net FILE --lib FILE [--max-cost W]
+//! ```
+//!
+//! Nets and libraries use the plain-text formats of `fastbuf_rctree::io`
+//! and `fastbuf_buflib::BufferLibrary::{to_text, from_text}`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,685 @@
+//! The `AddBuffer` operation — where the three algorithms differ.
+//!
+//! At a buffer position `v` the DP may insert any allowed buffer type
+//! `B_i`, producing for each type one new candidate
+//!
+//! ```text
+//! β_i = ( Q(α_i) − K(B_i) − R(B_i)·C(α_i),   C(B_i) )
+//! ```
+//!
+//! where `α_i` is the *best candidate* for `B_i`: the one maximizing
+//! `Q − R(B_i)·C` (ties to minimum `C`). The unbuffered candidates survive
+//! alongside the `β_i`.
+//!
+//! | strategy | find all `α_i` | total per position |
+//! |---|---|---|
+//! | [`Algorithm::Lillis`] | one O(k) scan per type | O(k·b) |
+//! | [`Algorithm::LiShi`] | Graham scan + monotone hull walk | O(k + b) |
+//! | [`Algorithm::LiShiPermanent`] | same, but the hull *replaces* the list | O(k + b) |
+//!
+//! All strategies then emit the `β_i` in precomputed input-capacitance order
+//! and merge them into the list in O(k + b) (Theorem 2 of the paper).
+
+use fastbuf_buflib::{BufferLibrary, BufferTypeId};
+use fastbuf_rctree::{NodeId, SiteConstraint};
+
+use crate::arena::{PredArena, PredEntry, PredRef};
+use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
+use crate::hull::{convex_prune_in_place, upper_hull_into};
+use crate::stats::SolveStats;
+
+/// Which buffer-insertion algorithm the [`Solver`](crate::Solver) runs.
+///
+/// All three produce the same optimal slack except
+/// [`Algorithm::LiShiPermanent`], which reproduces the paper's published
+/// pseudo-code verbatim and can be (slightly) sub-optimal on multi-pin nets
+/// — see `DESIGN.md` §2.1 and the `convex_permanent_gap` integration test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Lillis, Cheng & Lin (TCAS 1996): scan every candidate for every
+    /// buffer type; O(b²n²) overall. The baseline the paper compares
+    /// against, and the algorithm van Ginneken's original reduces to when
+    /// `b = 1`.
+    Lillis,
+    /// Li & Shi (DATE 2005): convex-hull `AddBuffer` in O(k + b), O(bn²)
+    /// overall. The hull is computed in scratch space; the propagated list
+    /// keeps all nonredundant candidates, so optimality is preserved on
+    /// every topology.
+    #[default]
+    LiShi,
+    /// Li & Shi exactly as published: convex pruning permanently removes
+    /// interior candidates from the propagated list (the C code frees
+    /// them). Fastest, provably exact on 2-pin nets, heuristic on
+    /// multi-pin nets.
+    LiShiPermanent,
+}
+
+impl Algorithm {
+    /// All implemented algorithms, for parametrized tests and benches.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::Lillis,
+        Algorithm::LiShi,
+        Algorithm::LiShiPermanent,
+    ];
+
+    /// `true` for the algorithms guaranteed to return the optimal slack on
+    /// every routing tree.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, Algorithm::LiShiPermanent)
+    }
+
+    /// Short stable name (used by benches and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Lillis => "lillis",
+            Algorithm::LiShi => "lishi",
+            Algorithm::LiShiPermanent => "lishi-permanent",
+        }
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lillis" => Ok(Algorithm::Lillis),
+            "lishi" => Ok(Algorithm::LiShi),
+            "lishi-permanent" => Ok(Algorithm::LiShiPermanent),
+            other => Err(format!(
+                "unknown algorithm `{other}` (expected lillis, lishi, or lishi-permanent)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reusable scratch buffers so `AddBuffer` performs no per-node allocation
+/// after warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    hull: Vec<u32>,
+    /// Best buffered candidate per library type index, or `None`.
+    pub(crate) beta_slots: Vec<Option<Candidate>>,
+    betas: Vec<Candidate>,
+}
+
+/// Per-buffer-type parameters hoisted out of the walk loops.
+#[inline]
+fn params(lib: &BufferLibrary, id: BufferTypeId) -> (f64, f64, f64, f64) {
+    let b = lib.get(id);
+    (
+        b.driving_resistance().value(),
+        b.intrinsic_delay().value(),
+        b.input_capacitance().value(),
+        b.max_load().map_or(f64::INFINITY, |m| m.value()),
+    )
+}
+
+/// Runs the `AddBuffer` operation for `algo` on `list` at `node`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn add_buffers(
+    algo: Algorithm,
+    list: &mut CandidateList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) {
+    if !find_betas(algo, list, lib, constraint, node, arena, track, scratch, stats) {
+        return;
+    }
+    // Emit the β_i in non-decreasing input-capacitance order (precomputed
+    // on the library — Theorem 2), pruning betas dominated among themselves.
+    scratch.betas.clear();
+    for &id in lib.by_input_cap_asc() {
+        if let Some(beta) = scratch.beta_slots[id.index()].take() {
+            push_pruned_c_order(&mut scratch.betas, beta);
+        }
+    }
+    stats.betas_generated += scratch.betas.len() as u64;
+    list.merge_insert(&scratch.betas);
+}
+
+/// Computes the best buffered candidate `β_i` for every allowed type into
+/// `scratch.beta_slots`, without inserting them. Returns `false` when the
+/// operation is a no-op (empty list / library / not a site).
+///
+/// [`Algorithm::LiShiPermanent`] additionally convex-prunes `list` in place,
+/// exactly as the paper's published `AddBuffer` does.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn find_betas(
+    algo: Algorithm,
+    list: &mut CandidateList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) -> bool {
+    if list.is_empty() || lib.is_empty() || !constraint.is_site() {
+        return false;
+    }
+    stats.addbuffer_ops += 1;
+    scratch.beta_slots.clear();
+    scratch.beta_slots.resize(lib.len(), None);
+
+    match algo {
+        Algorithm::Lillis => {
+            find_alphas_scan(list, lib, constraint, node, arena, track, scratch, stats);
+        }
+        Algorithm::LiShi => {
+            upper_hull_into(list.as_slice(), &mut scratch.hull);
+            stats.hull_builds += 1;
+            stats.hull_input_candidates += list.len() as u64;
+            find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+        }
+        Algorithm::LiShiPermanent => {
+            // Paper-as-written: prune the propagated list itself, then the
+            // hull *is* the list.
+            stats.convex_pruned += convex_prune_in_place(list) as u64;
+            stats.hull_builds += 1;
+            stats.hull_input_candidates += list.len() as u64;
+            scratch.hull.clear();
+            scratch.hull.extend(0..list.len() as u32);
+            find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+        }
+    }
+    true
+}
+
+/// Lillis et al.: independent O(k) scan per allowed buffer type.
+#[allow(clippy::too_many_arguments)]
+fn find_alphas_scan(
+    list: &CandidateList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) {
+    for (id, _) in lib.iter() {
+        if !constraint.allows(id) {
+            continue;
+        }
+        let (r, k, c_in, max_load) = params(lib, id);
+        let mut best: Option<&Candidate> = None;
+        for cand in list.iter() {
+            stats.scan_candidate_visits += 1;
+            if cand.c > max_load {
+                break; // c is sorted ascending; nothing further fits
+            }
+            match best {
+                None => best = Some(cand),
+                Some(b) => {
+                    if cand.driven_q(r, 0.0) > b.driven_q(r, 0.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        if let Some(alpha) = best {
+            scratch.beta_slots[id.index()] =
+                Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
+        }
+    }
+}
+
+/// Li & Shi: one monotone walk along the hull finds every unconstrained
+/// `α_i`; types with a load limit fall back to an exact scan (see
+/// `DESIGN.md`: the limit can make an interior, off-hull candidate optimal,
+/// so the hull alone is insufficient for them).
+#[allow(clippy::too_many_arguments)]
+fn find_alphas_walk(
+    list: &CandidateList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) {
+    let cands = list.as_slice();
+    let hull = &scratch.hull;
+    let mut ptr = 0usize;
+    // Lemma 1 order: non-increasing driving resistance.
+    for &id in lib.by_resistance_desc() {
+        if !constraint.allows(id) {
+            continue;
+        }
+        let (r, k, c_in, max_load) = params(lib, id);
+        let alpha = if max_load.is_finite() {
+            // Exact constrained scan (rare path).
+            let mut best: Option<&Candidate> = None;
+            for cand in cands {
+                stats.scan_candidate_visits += 1;
+                if cand.c > max_load {
+                    break;
+                }
+                if best.is_none_or(|b| cand.driven_q(r, 0.0) > b.driven_q(r, 0.0)) {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some(a) => a,
+                None => continue, // no candidate satisfies the load limit
+            }
+        } else {
+            // Lemma 4: Q − R·C is unimodal along the hull; Lemma 1: the
+            // peak only ever moves rightward as R decreases, so the pointer
+            // never retreats across buffer types.
+            while ptr + 1 < hull.len() {
+                let cur = &cands[hull[ptr] as usize];
+                let nxt = &cands[hull[ptr + 1] as usize];
+                if nxt.driven_q(r, 0.0) > cur.driven_q(r, 0.0) {
+                    ptr += 1;
+                    stats.hull_walk_steps += 1;
+                } else {
+                    break;
+                }
+            }
+            &cands[hull[ptr] as usize]
+        };
+        scratch.beta_slots[id.index()] =
+            Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
+    }
+}
+
+/// Builds `β_i` from its best candidate `α_i`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn make_beta(
+    alpha: &Candidate,
+    id: BufferTypeId,
+    r: f64,
+    k: f64,
+    c_in: f64,
+    node: NodeId,
+    arena: &mut PredArena,
+    track: bool,
+) -> Candidate {
+    let pred = if track {
+        arena.push(PredEntry::Buffer {
+            node,
+            buffer: id,
+            prev: alpha.pred,
+        })
+    } else {
+        PredRef::NONE
+    };
+    Candidate::new(alpha.driven_q(r, k), c_in, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::units::{Farads, Ohms, Seconds};
+    use fastbuf_buflib::BufferType;
+
+    fn cand(q: f64, c: f64) -> Candidate {
+        Candidate::new(q, c, PredRef::NONE)
+    }
+
+    fn list(points: &[(f64, f64)]) -> CandidateList {
+        CandidateList::from_candidates(points.iter().map(|&(q, c)| cand(q, c)).collect())
+    }
+
+    fn lib(buffers: &[(f64, f64, f64)]) -> BufferLibrary {
+        BufferLibrary::new(
+            buffers
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, c, k))| {
+                    BufferType::new(
+                        format!("b{i}"),
+                        Ohms::new(r),
+                        Farads::new(c),
+                        Seconds::new(k),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn run(algo: Algorithm, l: &CandidateList, library: &BufferLibrary) -> CandidateList {
+        let mut out = l.clone();
+        let mut arena = PredArena::new();
+        let mut scratch = Scratch::default();
+        let mut stats = SolveStats::default();
+        add_buffers(
+            algo,
+            &mut out,
+            library,
+            &SiteConstraint::AnyBuffer,
+            NodeId::new(0),
+            &mut arena,
+            false,
+            &mut scratch,
+            &mut stats,
+        );
+        out
+    }
+
+    /// The three strategies agree on the final list whenever no merge
+    /// follows (single AddBuffer call).
+    #[test]
+    fn strategies_agree_on_single_position() {
+        let l = list(&[
+            (1.0, 0.5),
+            (2.0, 1.0),
+            (2.5, 2.0), // interior
+            (4.0, 3.0),
+            (4.2, 5.0), // interior
+            (6.0, 8.0),
+        ]);
+        let library = lib(&[(3.0, 0.1, 0.0), (1.0, 0.4, 0.1), (0.5, 0.9, 0.2)]);
+        let a = run(Algorithm::Lillis, &l, &library);
+        let b = run(Algorithm::LiShi, &l, &library);
+        // Lillis and LiShi keep the full unbuffered set -> identical lists.
+        assert_eq!(a, b);
+        // The permanent variant loses interior unbuffered candidates but
+        // must produce the same betas: compare the buffered subset (the
+        // candidates whose c equals a library input capacitance and q
+        // matches).
+        let c = run(Algorithm::LiShiPermanent, &l, &library);
+        for beta in c.iter() {
+            assert!(
+                a.iter().any(|x| x.q == beta.q && x.c == beta.c),
+                "beta {beta:?} missing from exact list"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_values_hand_computed() {
+        // One buffer: R=2, C_in=0.25, K=0.5.
+        let l = list(&[(1.0, 1.0), (4.0, 2.0), (5.0, 4.0)]);
+        let library = lib(&[(2.0, 0.25, 0.5)]);
+        // Q - R*C: -1, 0, -3 -> alpha = (4,2). beta q = 4 - 0.5 - 2*2 = -0.5.
+        let out = run(Algorithm::LiShi, &l, &library);
+        assert!(
+            out.iter()
+                .any(|c| (c.q - (-0.5)).abs() < 1e-12 && (c.c - 0.25).abs() < 1e-12),
+            "expected beta in {out:?}"
+        );
+    }
+
+    #[test]
+    fn walk_and_scan_agree_on_random_lists() {
+        let mut state = 7u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for round in 0..100 {
+            let n = 1 + (rnd() * 20.0) as usize;
+            let mut q = 0.0;
+            let mut c = 0.0;
+            let mut pts = Vec::new();
+            for _ in 0..n {
+                q += rnd() + 0.001;
+                c += rnd() + 0.001;
+                pts.push((q, c));
+            }
+            let l = list(&pts);
+            let nb = 1 + (rnd() * 6.0) as usize;
+            let mut bufs: Vec<(f64, f64, f64)> = Vec::new();
+            for _ in 0..nb {
+                bufs.push((0.1 + rnd() * 5.0, 0.01 + rnd(), rnd()));
+            }
+            let library = lib(&bufs);
+            let a = run(Algorithm::Lillis, &l, &library);
+            let b = run(Algorithm::LiShi, &l, &library);
+            assert_eq!(a, b, "round {round}: lists diverge\nL={pts:?}\nB={bufs:?}");
+        }
+    }
+
+    #[test]
+    fn respects_subset_constraint() {
+        use fastbuf_buflib::BufferSet;
+        use std::sync::Arc;
+        let l = list(&[(1.0, 1.0), (4.0, 2.0)]);
+        let library = lib(&[(2.0, 0.25, 0.0), (1.0, 0.3, 0.0)]);
+        let mut only1 = BufferSet::empty(2);
+        only1.insert(BufferTypeId::new(1));
+        let constraint = SiteConstraint::Subset(Arc::new(only1));
+
+        let mut out = l.clone();
+        let mut arena = PredArena::new();
+        let mut scratch = Scratch::default();
+        let mut stats = SolveStats::default();
+        add_buffers(
+            Algorithm::LiShi,
+            &mut out,
+            &library,
+            &constraint,
+            NodeId::new(0),
+            &mut arena,
+            false,
+            &mut scratch,
+            &mut stats,
+        );
+        // Only one beta may appear (c = 0.3); type 0's c_in 0.25 must not.
+        assert!(out.iter().all(|c| (c.c - 0.25).abs() > 1e-12));
+        assert_eq!(stats.betas_generated, 1);
+    }
+
+    #[test]
+    fn not_a_site_is_noop() {
+        let l = list(&[(1.0, 1.0)]);
+        let library = lib(&[(2.0, 0.25, 0.0)]);
+        let mut out = l.clone();
+        let mut arena = PredArena::new();
+        let mut scratch = Scratch::default();
+        let mut stats = SolveStats::default();
+        add_buffers(
+            Algorithm::LiShi,
+            &mut out,
+            &library,
+            &SiteConstraint::NotASite,
+            NodeId::new(0),
+            &mut arena,
+            false,
+            &mut scratch,
+            &mut stats,
+        );
+        assert_eq!(out, l);
+        assert_eq!(stats.addbuffer_ops, 0);
+    }
+
+    #[test]
+    fn max_load_limits_alpha_choice() {
+        // Unconstrained alpha would be (10, 100); with max_load 5 only
+        // (1,1) and (4,3) qualify.
+        let l = list(&[(1.0, 1.0), (4.0, 3.0), (10.0, 100.0)]);
+        let limited = BufferLibrary::new(vec![BufferType::new(
+            "b0",
+            Ohms::new(0.001),
+            Farads::new(0.2),
+            Seconds::new(0.0),
+        )
+        .with_max_load(Farads::new(5.0))])
+        .unwrap();
+        for algo in Algorithm::ALL {
+            let out = run(algo, &l, &limited);
+            // alpha = (4,3): beta q = 4 - 0.001*3 = 3.997.
+            assert!(
+                out.iter().any(|c| (c.q - 3.997).abs() < 1e-12),
+                "{algo}: {out:?}"
+            );
+            assert!(
+                out.iter().all(|c| (c.q - 9.9).abs() > 1e-3),
+                "{algo} must not use the over-limit candidate: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_load_with_no_feasible_candidate_emits_nothing() {
+        let l = list(&[(10.0, 100.0)]);
+        let limited = BufferLibrary::new(vec![BufferType::new(
+            "b0",
+            Ohms::new(1.0),
+            Farads::new(0.2),
+            Seconds::new(0.0),
+        )
+        .with_max_load(Farads::new(5.0))])
+        .unwrap();
+        let out = run(Algorithm::LiShi, &l, &limited);
+        assert_eq!(out, l);
+    }
+
+    #[test]
+    fn lillis_visits_k_times_b_and_lishi_does_not() {
+        let points: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                // Strictly concave staircase: all points on the hull.
+                (100.0 * x - 0.4 * x * x, x + 1.0)
+            })
+            .collect();
+        let l = list(&points);
+        assert_eq!(l.len(), 100);
+        let library = lib(&[
+            (80.0, 0.1, 0.0),
+            (40.0, 0.2, 0.0),
+            (20.0, 0.3, 0.0),
+            (10.0, 0.4, 0.0),
+        ]);
+
+        let run_stats = |algo: Algorithm| {
+            let mut out = l.clone();
+            let mut arena = PredArena::new();
+            let mut scratch = Scratch::default();
+            let mut stats = SolveStats::default();
+            add_buffers(
+                algo,
+                &mut out,
+                &library,
+                &SiteConstraint::AnyBuffer,
+                NodeId::new(0),
+                &mut arena,
+                false,
+                &mut scratch,
+                &mut stats,
+            );
+            stats
+        };
+        let lillis = run_stats(Algorithm::Lillis);
+        let lishi = run_stats(Algorithm::LiShi);
+        assert_eq!(lillis.scan_candidate_visits, 400); // k*b
+        assert_eq!(lishi.scan_candidate_visits, 0);
+        // Hull walk is bounded by k + b, not k*b.
+        assert!(lishi.hull_walk_steps <= 100 + 4);
+        assert_eq!(lishi.hull_input_candidates, 100);
+    }
+
+    /// Lemma 1 of the paper: with buffers sorted by non-increasing
+    /// resistance, the best candidates' capacitances are non-decreasing.
+    #[test]
+    fn lemma1_best_candidates_monotone_in_c() {
+        let mut state = 99u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..50 {
+            let n = 2 + (rnd() * 30.0) as usize;
+            let mut q = 0.0;
+            let mut c = 0.0;
+            let mut pts = Vec::new();
+            for _ in 0..n {
+                q += rnd() + 0.001;
+                c += rnd() + 0.001;
+                pts.push((q, c));
+            }
+            let l = list(&pts);
+            let mut bufs: Vec<(f64, f64, f64)> = Vec::new();
+            for _ in 0..6 {
+                bufs.push((0.05 + rnd() * 8.0, 0.1, 0.0));
+            }
+            let library = lib(&bufs);
+            // For each type in non-increasing-R order, find the best
+            // candidate by exhaustive scan; its C must never decrease.
+            let mut last_c = f64::NEG_INFINITY;
+            for &id in library.by_resistance_desc() {
+                let r = library.get(id).driving_resistance().value();
+                let best = l
+                    .iter()
+                    .max_by(|a, b| {
+                        a.driven_q(r, 0.0)
+                            .partial_cmp(&b.driven_q(r, 0.0))
+                            .unwrap()
+                            // min-C tiebreak: prefer the earlier (smaller C).
+                            .then(b.c.partial_cmp(&a.c).unwrap())
+                    })
+                    .unwrap();
+                assert!(
+                    best.c >= last_c - 1e-15,
+                    "Lemma 1 violated: C decreased from {last_c} to {}",
+                    best.c
+                );
+                last_c = best.c;
+            }
+        }
+    }
+
+    /// Lemma 3: the best candidate for any resistance survives convex
+    /// pruning.
+    #[test]
+    fn lemma3_best_candidate_on_hull() {
+        let l = list(&[
+            (1.0, 0.5),
+            (2.0, 1.0),
+            (2.5, 2.0),
+            (4.0, 3.0),
+            (4.2, 5.0),
+            (6.0, 8.0),
+        ]);
+        let mut pruned = l.clone();
+        crate::hull::convex_prune_in_place(&mut pruned);
+        for r_tenth in 0..100 {
+            let r = r_tenth as f64 * 0.1;
+            let best_full = l.best_driven(r, 0.0).unwrap();
+            assert!(
+                pruned
+                    .iter()
+                    .any(|c| c.q == best_full.q && c.c == best_full.c),
+                "r={r}: best candidate {best_full:?} was pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_parsing_and_display() {
+        assert_eq!("lishi".parse::<Algorithm>().unwrap(), Algorithm::LiShi);
+        assert_eq!("lillis".parse::<Algorithm>().unwrap(), Algorithm::Lillis);
+        assert_eq!(
+            "lishi-permanent".parse::<Algorithm>().unwrap(),
+            Algorithm::LiShiPermanent
+        );
+        assert!("nope".parse::<Algorithm>().is_err());
+        for a in Algorithm::ALL {
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+            assert_eq!(a.to_string(), a.name());
+        }
+        assert!(Algorithm::LiShi.is_exact());
+        assert!(Algorithm::Lillis.is_exact());
+        assert!(!Algorithm::LiShiPermanent.is_exact());
+        assert_eq!(Algorithm::default(), Algorithm::LiShi);
+    }
+}

@@ -1,0 +1,207 @@
+//! Branch merging — the paper's third major operation.
+//!
+//! At a Steiner point the candidate lists of the two branches combine: a
+//! merged candidate pairs one candidate from each side with
+//!
+//! ```text
+//! Q = min(Q_left, Q_right)        C = C_left + C_right
+//! ```
+//!
+//! Only `k₁ + k₂ − 1` of the `k₁·k₂` pairs can be nonredundant: the merged
+//! slack is capped by the weaker side, so each candidate of one list is only
+//! worth pairing with the *cheapest* (minimum-`C`) candidate of the other
+//! list whose `Q` does not cap it. The classic two-pointer walk below
+//! produces exactly those pairs in `O(k₁ + k₂)` (Lillis et al. 1996; van
+//! Ginneken 1990 for the one-type case).
+
+use crate::arena::{PredArena, PredEntry};
+use crate::candidate::{Candidate, CandidateList};
+
+/// Merges two branch candidate lists. `arena` receives one
+/// [`PredEntry::Merge`] per emitted candidate when `track` is set.
+pub fn merge_branches(
+    left: CandidateList,
+    right: CandidateList,
+    arena: &mut PredArena,
+    track: bool,
+) -> CandidateList {
+    let l = left.as_slice();
+    let r = right.as_slice();
+    if l.is_empty() {
+        return right;
+    }
+    if r.is_empty() {
+        return left;
+    }
+    let mut raw: Vec<Candidate> = Vec::with_capacity(l.len() + r.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    // Invariant: all of l[..i] have q < r[j].q and all of r[..j] have
+    // q < l[i].q, i.e. the current partner on the other side is the
+    // cheapest candidate not capping the emitted one.
+    while i < l.len() && j < r.len() {
+        let (a, b) = (&l[i], &r[j]);
+        let q = a.q.min(b.q);
+        let c = a.c + b.c;
+        let pred = if track {
+            arena.push(PredEntry::Merge {
+                left: a.pred,
+                right: b.pred,
+            })
+        } else {
+            crate::arena::PredRef::NONE
+        };
+        raw.push(Candidate::new(q, c, pred));
+        // Advance the capping side; on ties advance both (their pair was
+        // just emitted; either alone would only add a dominated candidate).
+        if a.q <= b.q {
+            i += 1;
+        }
+        if b.q <= a.q {
+            j += 1;
+        }
+    }
+    // Once one side is exhausted, every remaining pair is capped at the
+    // exhausted side's maximum q but costs strictly more c — dominated.
+
+    // The raw sequence is q-nondecreasing with arbitrary c; prune with a
+    // monotone stack.
+    let mut out: Vec<Candidate> = Vec::with_capacity(raw.len());
+    for cand in raw {
+        if let Some(top) = out.last() {
+            if cand.q == top.q && cand.c >= top.c {
+                continue; // dominated by the stack top
+            }
+        }
+        while out.last().is_some_and(|t| t.c >= cand.c) {
+            out.pop(); // cand dominates the top (q ≥, c ≤)
+        }
+        out.push(cand);
+    }
+    CandidateList::from_sorted(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::PredRef;
+
+    fn cand(q: f64, c: f64) -> Candidate {
+        Candidate::new(q, c, PredRef::NONE)
+    }
+
+    fn list(points: &[(f64, f64)]) -> CandidateList {
+        CandidateList::from_candidates(points.iter().map(|&(q, c)| cand(q, c)).collect())
+    }
+
+    fn merged(lp: &[(f64, f64)], rp: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut arena = PredArena::new();
+        merge_branches(list(lp), list(rp), &mut arena, false)
+            .iter()
+            .map(|c| (c.q, c.c))
+            .collect()
+    }
+
+    /// Oracle: all pairs, then prune dominated.
+    fn brute(lp: &[(f64, f64)], rp: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut all = Vec::new();
+        for &(ql, cl) in lp {
+            for &(qr, cr) in rp {
+                all.push(cand(ql.min(qr), cl + cr));
+            }
+        }
+        CandidateList::from_candidates(all)
+            .iter()
+            .map(|c| (c.q, c.c))
+            .collect()
+    }
+
+    #[test]
+    fn single_pair() {
+        assert_eq!(merged(&[(5.0, 1.0)], &[(3.0, 2.0)]), vec![(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn classic_interleave_matches_bruteforce() {
+        let lp = [(1.0, 1.0), (5.0, 3.0), (9.0, 7.0)];
+        let rp = [(2.0, 2.0), (6.0, 4.0)];
+        assert_eq!(merged(&lp, &rp), brute(&lp, &rp));
+    }
+
+    #[test]
+    fn equal_q_ties_match_bruteforce() {
+        let lp = [(1.0, 1.0), (3.0, 2.0), (5.0, 4.0)];
+        let rp = [(3.0, 1.5), (5.0, 3.0)];
+        assert_eq!(merged(&lp, &rp), brute(&lp, &rp));
+    }
+
+    #[test]
+    fn empty_side_passthrough() {
+        let mut arena = PredArena::new();
+        let l = list(&[(1.0, 1.0)]);
+        let out = merge_branches(l.clone(), CandidateList::new(), &mut arena, false);
+        assert_eq!(out, l);
+        let out = merge_branches(CandidateList::new(), l.clone(), &mut arena, false);
+        assert_eq!(out, l);
+    }
+
+    #[test]
+    fn commutative() {
+        let lp = [(1.0, 2.0), (4.0, 5.0), (8.0, 9.0)];
+        let rp = [(0.5, 1.0), (3.0, 3.0), (7.0, 8.0), (10.0, 12.0)];
+        assert_eq!(merged(&lp, &rp), merged(&rp, &lp));
+    }
+
+    #[test]
+    fn randomized_against_bruteforce() {
+        let mut state = 0xDEADBEEFu64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..50 {
+            let mk = |rnd: &mut dyn FnMut() -> f64| {
+                let n = 1 + (rnd() * 6.0) as usize;
+                let mut q = 0.0;
+                let mut c = 0.0;
+                let mut v = Vec::new();
+                for _ in 0..n {
+                    q += rnd() + 0.01;
+                    c += rnd() + 0.01;
+                    v.push((q, c));
+                }
+                v
+            };
+            let lp = mk(&mut rnd);
+            let rp = mk(&mut rnd);
+            assert_eq!(merged(&lp, &rp), brute(&lp, &rp), "L={lp:?} R={rp:?}");
+        }
+    }
+
+    #[test]
+    fn predecessors_recorded_when_tracking() {
+        let mut arena = PredArena::new();
+        let out = merge_branches(
+            list(&[(1.0, 1.0), (5.0, 3.0)]),
+            list(&[(2.0, 2.0)]),
+            &mut arena,
+            true,
+        );
+        assert!(!arena.is_empty());
+        for c in out.iter() {
+            assert!(arena.get(c.pred).is_some());
+            assert!(matches!(arena.get(c.pred), Some(PredEntry::Merge { .. })));
+        }
+    }
+
+    #[test]
+    fn no_arena_growth_when_untracked() {
+        let mut arena = PredArena::new();
+        let _ = merge_branches(
+            list(&[(1.0, 1.0), (5.0, 3.0)]),
+            list(&[(2.0, 2.0), (6.0, 4.0)]),
+            &mut arena,
+            false,
+        );
+        assert!(arena.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Solver output: slack, placements, verification.
+
+use std::error::Error;
+use std::fmt;
+
+use fastbuf_buflib::units::{Farads, Seconds};
+use fastbuf_buflib::{BufferLibrary, BufferTypeId};
+use fastbuf_rctree::{elmore, NodeId, RoutingTree, TreeError};
+
+use crate::buffering::Algorithm;
+use crate::stats::SolveStats;
+
+/// One inserted buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Placement {
+    /// The buffer position.
+    pub node: NodeId,
+    /// The inserted buffer type.
+    pub buffer: BufferTypeId,
+}
+
+impl From<(NodeId, BufferTypeId)> for Placement {
+    fn from((node, buffer): (NodeId, BufferTypeId)) -> Self {
+        Placement { node, buffer }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.buffer, self.node)
+    }
+}
+
+/// The result of a [`Solver::solve`](crate::Solver::solve).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Slack at the source including the driver delay:
+    /// `max_a (Q(a) − K_d − R_d·C(a))`.
+    pub slack: Seconds,
+    /// `Q` of the chosen root candidate (before the driver charge).
+    pub root_q: Seconds,
+    /// Capacitive load of the chosen root candidate.
+    pub root_load: Farads,
+    /// The buffers to insert. Empty when predecessor tracking was disabled
+    /// (see [`Solution::tracked`]).
+    pub placements: Vec<Placement>,
+    /// Which algorithm produced this solution.
+    pub algorithm: Algorithm,
+    /// Whether placements were reconstructed.
+    pub tracked: bool,
+    /// Operation counters and timing.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Placements as `(node, buffer)` pairs, the form the
+    /// [`elmore::evaluate`] oracle takes.
+    pub fn placement_pairs(&self) -> Vec<(NodeId, BufferTypeId)> {
+        self.placements.iter().map(|p| (p.node, p.buffer)).collect()
+    }
+
+    /// Re-evaluates the reconstructed placements with the independent
+    /// forward Elmore analysis of `fastbuf-rctree` and checks that the
+    /// measured slack equals the slack this solution predicts (to a relative
+    /// tolerance of 1e-9). Returns the measured slack.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::NotTracked`] if the solver ran with predecessor
+    /// tracking disabled; [`VerifyError::Tree`] if the placements are
+    /// illegal for `tree` (should be impossible); and
+    /// [`VerifyError::SlackMismatch`] if prediction and measurement differ
+    /// beyond the tolerance — i.e. a solver bug.
+    pub fn verify(&self, tree: &RoutingTree, library: &BufferLibrary) -> Result<Seconds, VerifyError> {
+        if !self.tracked {
+            return Err(VerifyError::NotTracked);
+        }
+        let report =
+            elmore::evaluate(tree, library, &self.placement_pairs()).map_err(VerifyError::Tree)?;
+        let predicted = self.slack.value();
+        let measured = report.slack.value();
+        let tol = 1e-9 * predicted.abs().max(measured.abs()).max(1e-12);
+        if (predicted - measured).abs() > tol {
+            return Err(VerifyError::SlackMismatch {
+                predicted: self.slack,
+                measured: report.slack,
+            });
+        }
+        Ok(report.slack)
+    }
+
+    /// Total cost of the inserted buffers under `library`'s cost model.
+    pub fn total_cost(&self, library: &BufferLibrary) -> f64 {
+        self.placements
+            .iter()
+            .map(|p| library.get(p.buffer).cost())
+            .sum()
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slack {} with {} buffers [{}]",
+            self.slack,
+            self.placements.len(),
+            self.algorithm
+        )
+    }
+}
+
+/// Errors from [`Solution::verify`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The solution was produced without predecessor tracking, so there are
+    /// no placements to verify.
+    NotTracked,
+    /// The placements are not legal on the given tree.
+    Tree(TreeError),
+    /// The forward evaluation disagrees with the DP's prediction.
+    SlackMismatch {
+        /// Slack the DP predicted.
+        predicted: Seconds,
+        /// Slack the forward Elmore evaluation measured.
+        measured: Seconds,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotTracked => {
+                write!(f, "solution has no placements (tracking was disabled)")
+            }
+            VerifyError::Tree(e) => write!(f, "placements are illegal: {e}"),
+            VerifyError::SlackMismatch {
+                predicted,
+                measured,
+            } => write!(
+                f,
+                "predicted slack {predicted} but forward evaluation measured {measured}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_display_and_conversion() {
+        let p: Placement = (NodeId::new(4), BufferTypeId::new(2)).into();
+        assert_eq!(p.to_string(), "B2@n4");
+    }
+
+    #[test]
+    fn verify_error_display() {
+        let e = VerifyError::NotTracked;
+        assert!(e.to_string().contains("tracking"));
+        let e = VerifyError::SlackMismatch {
+            predicted: Seconds::from_pico(10.0),
+            measured: Seconds::from_pico(20.0),
+        };
+        assert!(e.to_string().contains("predicted"));
+        let e = VerifyError::Tree(TreeError::NoSource);
+        assert!(e.to_string().contains("illegal"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! Structured nets: H-trees and caterpillars.
+
+use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
+use fastbuf_buflib::{Driver, Technology};
+use fastbuf_rctree::segment::segment_by_pitch;
+use fastbuf_rctree::{NodeId, RoutingTree, TreeBuilder, Wire};
+
+/// Specification of a symmetric H-tree (clock-distribution style).
+///
+/// `levels` H-recursions produce `4^levels` sinks at the leaf tips. Every
+/// branch midpoint is an internal node; buffer sites are created by
+/// segmenting at `site_pitch`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HTreeSpec {
+    /// Number of H recursions (sinks = `4^levels`).
+    pub levels: usize,
+    /// Half-width of the top-level H.
+    pub arm: Microns,
+    /// Interconnect technology.
+    pub tech: Technology,
+    /// Driver resistance at the source (clock root).
+    pub driver_resistance: Ohms,
+    /// Leaf load capacitance.
+    pub sink_capacitance: Farads,
+    /// Required arrival time at every leaf.
+    pub required_arrival: Seconds,
+    /// Buffer-site pitch (`None` = no segmenting; only branch points are
+    /// internal and none are sites).
+    pub site_pitch: Option<Microns>,
+}
+
+impl Default for HTreeSpec {
+    /// Three levels (64 sinks), 4 mm top arm, paper technology.
+    fn default() -> Self {
+        HTreeSpec {
+            levels: 3,
+            arm: Microns::new(4000.0),
+            tech: Technology::tsmc180_like(),
+            driver_resistance: Ohms::new(120.0),
+            sink_capacitance: Farads::from_femto(15.0),
+            required_arrival: Seconds::from_pico(1500.0),
+            site_pitch: Some(Microns::new(250.0)),
+        }
+    }
+}
+
+impl HTreeSpec {
+    /// Builds the H-tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn build(&self) -> RoutingTree {
+        assert!(self.levels > 0, "an H-tree needs at least one level");
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(self.driver_resistance));
+        let root_len = self.arm;
+        self.recurse(&mut b, src, self.levels, root_len);
+        let base = b.build().expect("H-tree is structurally valid");
+        match self.site_pitch {
+            None => base,
+            Some(pitch) => segment_by_pitch(&base, pitch).expect("lengths present").tree,
+        }
+    }
+
+    /// Attaches one H below `parent`: two horizontal arms to branch points,
+    /// each splitting vertically into two tips (4 tips per H). Tips host
+    /// sinks at the last level and sub-Hs otherwise.
+    fn recurse(&self, b: &mut TreeBuilder, parent: NodeId, level: usize, arm: Microns) {
+        for _side in 0..2 {
+            let branch = b.internal();
+            b.connect(parent, branch, Wire::from_length(&self.tech, arm))
+                .expect("fresh branch");
+            for _tip in 0..2 {
+                let tip_wire = Wire::from_length(&self.tech, arm / 2.0);
+                if level == 1 {
+                    let sink = b.sink(self.sink_capacitance, self.required_arrival);
+                    b.connect(branch, sink, tip_wire).expect("fresh sink");
+                } else {
+                    let tip = b.internal();
+                    b.connect(branch, tip, tip_wire).expect("fresh tip");
+                    self.recurse(b, tip, level - 1, arm / 2.0);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a symmetric H-tree with `levels` recursions (`4^levels` sinks)
+/// and otherwise default parameters.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_netgen::h_tree;
+///
+/// let t = h_tree(2);
+/// assert_eq!(t.sink_count(), 16);
+/// ```
+pub fn h_tree(levels: usize) -> RoutingTree {
+    HTreeSpec {
+        levels,
+        ..HTreeSpec::default()
+    }
+    .build()
+}
+
+/// Builds a caterpillar: a trunk of `sinks` equally spaced taps, each with a
+/// short stub to one sink — the shape of a bus tapping many receivers.
+/// Buffer sites sit at every tap and every `pitch` along the trunk.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::units::Microns;
+/// use fastbuf_netgen::caterpillar_net;
+///
+/// let t = caterpillar_net(16, Microns::new(500.0), Microns::new(50.0));
+/// assert_eq!(t.sink_count(), 16);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sinks == 0`.
+pub fn caterpillar_net(sinks: usize, spacing: Microns, stub: Microns) -> RoutingTree {
+    assert!(sinks > 0, "a net needs at least one sink");
+    let tech = Technology::tsmc180_like();
+    let mut b = TreeBuilder::new();
+    let src = b.source(Driver::new(Ohms::new(180.0)));
+    let mut prev = src;
+    for i in 0..sinks {
+        let tap = b.buffer_site();
+        b.connect(prev, tap, Wire::from_length(&tech, spacing))
+            .expect("fresh tap");
+        let sink = b.sink(
+            Farads::from_femto(4.0 + (i % 8) as f64 * 4.0),
+            Seconds::from_pico(1000.0 + (i % 5) as f64 * 200.0),
+        );
+        b.connect(tap, sink, Wire::from_length(&tech, stub))
+            .expect("fresh sink");
+        prev = tap;
+    }
+    b.build().expect("caterpillar is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_tree_sink_count_is_power_of_four() {
+        for levels in 1..=3 {
+            let t = h_tree(levels);
+            assert_eq!(t.sink_count(), 4usize.pow(levels as u32), "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn h_tree_is_symmetric_in_depth() {
+        let t = h_tree(2);
+        // All sinks at identical depth.
+        let stats = t.stats();
+        let mut depths = std::collections::HashSet::new();
+        for s in t.sinks() {
+            let mut d = 0;
+            let mut cur = s;
+            while let Some(p) = t.parent(cur) {
+                d += 1;
+                cur = p;
+            }
+            depths.insert(d);
+        }
+        assert_eq!(depths.len(), 1, "{stats}");
+    }
+
+    #[test]
+    fn h_tree_segmenting_adds_sites() {
+        let unsegmented = HTreeSpec {
+            site_pitch: None,
+            ..HTreeSpec::default()
+        }
+        .build();
+        assert_eq!(unsegmented.buffer_site_count(), 0);
+        let segmented = HTreeSpec::default().build();
+        assert!(segmented.buffer_site_count() > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = h_tree(0);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar_net(10, Microns::new(300.0), Microns::new(30.0));
+        assert_eq!(t.sink_count(), 10);
+        assert_eq!(t.buffer_site_count(), 10);
+        assert_eq!(t.stats().max_depth, 11); // trunk depth 10 + stub
+    }
+
+    #[test]
+    fn caterpillar_parameters_vary_by_position() {
+        let t = caterpillar_net(9, Microns::new(100.0), Microns::new(10.0));
+        let caps: std::collections::HashSet<u64> = t
+            .sinks()
+            .map(|s| match t.kind(s) {
+                fastbuf_rctree::NodeKind::Sink { capacitance, .. } => {
+                    (capacitance.femtos() * 1000.0) as u64
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(caps.len() > 4, "sink loads should vary: {caps:?}");
+    }
+}

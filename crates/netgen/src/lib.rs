@@ -1,0 +1,38 @@
+//! Synthetic net generators reproducing the workload *shapes* of
+//! Li & Shi, DATE 2005.
+//!
+//! The paper evaluates on three industrial nets (337 / 1944 / 2676 sinks;
+//! the 1944-sink net carries 33133 candidate buffer positions) routed in a
+//! 180 nm technology with sink capacitances between 2 and 41 fF. Those nets
+//! are proprietary, so this crate generates deterministic synthetic stand-ins
+//! matched on the published statistics:
+//!
+//! * [`line_net`] — 2-pin lines with a configurable number of buffer sites
+//!   (the textbook van Ginneken workload, used for complexity sweeps);
+//! * [`RandomNetSpec`] — random geometric Steiner-style trees at any sink
+//!   count, with paper-matched sink loads and technology constants
+//!   ([`RandomNetSpec::paper`] presets the three table rows);
+//! * [`caterpillar_net`] — a trunk with periodic sink stubs (bus-like);
+//! * [`h_tree`] — symmetric clock-style H-trees.
+//!
+//! Everything is seeded and deterministic: the same spec always builds the
+//! same net, so benchmark tables are reproducible run to run.
+//!
+//! ```
+//! use fastbuf_netgen::RandomNetSpec;
+//!
+//! let tree = RandomNetSpec::paper(337).build();
+//! assert_eq!(tree.sink_count(), 337);
+//! assert!(tree.buffer_site_count() > 3000); // paper-scale position density
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod clock;
+mod line;
+mod random;
+
+pub use clock::{caterpillar_net, h_tree, HTreeSpec};
+pub use line::{line_net, LineNetSpec};
+pub use random::{RandomNetSpec, RatPolicy};

@@ -1,0 +1,128 @@
+//! Two-pin line nets.
+
+use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
+use fastbuf_buflib::{Driver, Technology};
+use fastbuf_rctree::{RoutingTree, TreeBuilder, Wire};
+
+/// Specification of a 2-pin line: a source driving a single sink over a
+/// straight wire with equally spaced buffer sites.
+///
+/// This is the workload of van Ginneken's original paper and the cleanest
+/// way to sweep the paper's `n` (Figure 4): `sites` buffer positions divide
+/// the wire into `sites + 1` equal segments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineNetSpec {
+    /// Total wire length.
+    pub length: Microns,
+    /// Number of equally spaced buffer sites.
+    pub sites: usize,
+    /// Interconnect technology.
+    pub tech: Technology,
+    /// Driver resistance at the source.
+    pub driver_resistance: Ohms,
+    /// Sink load.
+    pub sink_capacitance: Farads,
+    /// Sink required arrival time.
+    pub required_arrival: Seconds,
+}
+
+impl Default for LineNetSpec {
+    /// A 10 mm line with 99 sites in the paper's technology, 180 Ω driver,
+    /// 20 fF load, 2 ns required arrival time.
+    fn default() -> Self {
+        LineNetSpec {
+            length: Microns::new(10_000.0),
+            sites: 99,
+            tech: Technology::tsmc180_like(),
+            driver_resistance: Ohms::new(180.0),
+            sink_capacitance: Farads::from_femto(20.0),
+            required_arrival: Seconds::from_pico(2000.0),
+        }
+    }
+}
+
+impl LineNetSpec {
+    /// Builds the routing tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not strictly positive.
+    pub fn build(&self) -> RoutingTree {
+        assert!(
+            self.length > Microns::ZERO,
+            "line length must be strictly positive"
+        );
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(self.driver_resistance));
+        let seg = Wire::from_length(&self.tech, self.length / (self.sites + 1) as f64);
+        let mut prev = src;
+        for _ in 0..self.sites {
+            let site = b.buffer_site();
+            b.connect(prev, site, seg).expect("chain is well-formed");
+            prev = site;
+        }
+        let sink = b.sink(self.sink_capacitance, self.required_arrival);
+        b.connect(prev, sink, seg).expect("chain is well-formed");
+        b.build().expect("line net is always valid")
+    }
+}
+
+/// Convenience: builds a 2-pin line of `length` with `sites` buffer sites
+/// and otherwise default (paper-technology) parameters.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::units::Microns;
+/// use fastbuf_netgen::line_net;
+///
+/// let tree = line_net(Microns::new(5000.0), 9);
+/// assert_eq!(tree.buffer_site_count(), 9);
+/// assert_eq!(tree.sink_count(), 1);
+/// ```
+pub fn line_net(length: Microns, sites: usize) -> RoutingTree {
+    LineNetSpec {
+        length,
+        sites,
+        ..LineNetSpec::default()
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_shape() {
+        let t = line_net(Microns::new(1000.0), 4);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.buffer_site_count(), 4);
+        let stats = t.stats();
+        assert_eq!(stats.max_depth, 5);
+        assert!((stats.total_length.unwrap().value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sites_is_plain_wire() {
+        let t = line_net(Microns::new(1000.0), 0);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.buffer_site_count(), 0);
+    }
+
+    #[test]
+    fn segments_are_equal() {
+        let t = line_net(Microns::new(900.0), 2);
+        for n in t.node_ids() {
+            if let Some(w) = t.wire_to_parent(n) {
+                assert!((w.length().unwrap().value() - 300.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_length_panics() {
+        let _ = line_net(Microns::ZERO, 1);
+    }
+}

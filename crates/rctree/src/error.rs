@@ -1,0 +1,141 @@
+//! Error types for tree construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced when building, transforming, or evaluating a
+/// [`RoutingTree`](crate::RoutingTree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The tree has no source node.
+    NoSource,
+    /// More than one source node was created.
+    MultipleSources {
+        /// The second source encountered.
+        second: NodeId,
+    },
+    /// A node id does not exist in this builder/tree.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// `connect` was called with identical parent and child.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node was connected to two parents (or to the same parent twice).
+    DuplicateParent {
+        /// The node that already had a parent.
+        node: NodeId,
+    },
+    /// The source node was connected as a child.
+    SourceHasParent,
+    /// The tree has no sinks; a net must drive at least one load.
+    NoSinks,
+    /// A node is not reachable from the source.
+    Unreachable {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// An internal node has no children; leaves must be sinks.
+    InternalLeaf {
+        /// The childless internal node.
+        node: NodeId,
+    },
+    /// A sink node has children; sinks must be leaves.
+    SinkWithChildren {
+        /// The offending sink.
+        node: NodeId,
+    },
+    /// A wire has negative or non-finite parasitics.
+    InvalidWire {
+        /// The child endpoint of the wire.
+        child: NodeId,
+    },
+    /// A sink has a negative/non-finite capacitance or non-finite RAT.
+    InvalidSink {
+        /// The offending sink.
+        node: NodeId,
+    },
+    /// A buffer-site constraint was placed on a non-internal node.
+    SiteOnNonInternal {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Segmenting by length was requested but a wire has no length.
+    MissingWireLength {
+        /// The child endpoint of the length-less wire.
+        child: NodeId,
+    },
+    /// A buffer in an assignment sits on a node that is not a buffer site,
+    /// or uses a type the site does not allow.
+    IllegalAssignment {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NoSource => write!(f, "tree has no source node"),
+            TreeError::MultipleSources { second } => {
+                write!(f, "tree has more than one source (second is {second})")
+            }
+            TreeError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            TreeError::SelfLoop { node } => write!(f, "self loop at {node}"),
+            TreeError::DuplicateParent { node } => {
+                write!(f, "node {node} was connected to two parents")
+            }
+            TreeError::SourceHasParent => write!(f, "source node cannot have a parent"),
+            TreeError::NoSinks => write!(f, "tree has no sinks"),
+            TreeError::Unreachable { node } => {
+                write!(f, "node {node} is not reachable from the source")
+            }
+            TreeError::InternalLeaf { node } => {
+                write!(f, "internal node {node} has no children; leaves must be sinks")
+            }
+            TreeError::SinkWithChildren { node } => {
+                write!(f, "sink {node} has children; sinks must be leaves")
+            }
+            TreeError::InvalidWire { child } => {
+                write!(f, "wire into {child} has negative or non-finite parasitics")
+            }
+            TreeError::InvalidSink { node } => {
+                write!(f, "sink {node} has invalid capacitance or required arrival time")
+            }
+            TreeError::SiteOnNonInternal { node } => {
+                write!(f, "buffer-site constraint on non-internal node {node}")
+            }
+            TreeError::MissingWireLength { child } => {
+                write!(f, "wire into {child} has no geometric length")
+            }
+            TreeError::IllegalAssignment { node } => {
+                write!(f, "buffer assignment at {node} violates the site constraint")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node() {
+        let e = TreeError::Unreachable { node: NodeId::new(3) };
+        assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TreeError>();
+    }
+}

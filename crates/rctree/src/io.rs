@@ -1,0 +1,465 @@
+//! Plain-text net exchange format.
+//!
+//! The format is line-oriented and independent of any external serialization
+//! crate, so nets can be produced by scripts and diffed in code review:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! fastbuf-net v1
+//! nodes 4
+//! node 0 source 180          # driving resistance [intrinsic delay ps]
+//! node 1 internal site       # 'site' = any buffer; 'allow 0 2' = subset
+//! node 2 sink 10 500         # cap_ff rat_ps
+//! node 3 sink 7.5 430
+//! edge 0 1 7.6 11.8 len 100  # parent child r_ohms c_ff [len um]
+//! edge 1 2 3.8 5.9
+//! edge 1 3 3.8 5.9
+//! ```
+//!
+//! Node ids must be dense (`0..nodes`), each defined exactly once; edges may
+//! appear in any order. [`write()`](write()) always produces a file [`parse`] accepts
+//! (round-trip tested). One normalization applies: the bitset universe of an
+//! `allow` subset becomes `max id + 1` after parsing; membership semantics
+//! are unchanged.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
+use fastbuf_buflib::{BufferSet, BufferTypeId, Driver};
+
+use crate::node::{NodeId, NodeKind, SiteConstraint, Wire};
+use crate::tree::{RoutingTree, TreeBuilder};
+
+/// Error from [`parse`]: the offending 1-based line and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetParseError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl NetParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        NetParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "net parse error: {}", self.message)
+        } else {
+            write!(f, "net parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for NetParseError {}
+
+/// Pulls the next token from `tok` and parses it as a number.
+fn next_num<'a>(
+    tok: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<f64, NetParseError> {
+    tok.next()
+        .ok_or_else(|| NetParseError::new(lineno, format!("missing {what}")))?
+        .parse::<f64>()
+        .map_err(|e| NetParseError::new(lineno, format!("bad {what}: {e}")))
+}
+
+/// Serializes a tree to the text format.
+pub fn write(tree: &RoutingTree) -> String {
+    let mut out = String::new();
+    out.push_str("fastbuf-net v1\n");
+    out.push_str(&format!("nodes {}\n", tree.node_count()));
+    for node in tree.node_ids() {
+        match tree.kind(node) {
+            NodeKind::Source { driver } => {
+                if driver.intrinsic_delay() == Seconds::ZERO {
+                    out.push_str(&format!(
+                        "node {} source {}\n",
+                        node.index(),
+                        driver.resistance().value()
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "node {} source {} {}\n",
+                        node.index(),
+                        driver.resistance().value(),
+                        driver.intrinsic_delay().picos()
+                    ));
+                }
+            }
+            NodeKind::Sink {
+                capacitance,
+                required_arrival,
+            } => {
+                out.push_str(&format!(
+                    "node {} sink {} {}\n",
+                    node.index(),
+                    capacitance.femtos(),
+                    required_arrival.picos()
+                ));
+            }
+            NodeKind::Internal => match tree.site_constraint(node) {
+                SiteConstraint::NotASite => {
+                    out.push_str(&format!("node {} internal\n", node.index()));
+                }
+                SiteConstraint::AnyBuffer => {
+                    out.push_str(&format!("node {} internal site\n", node.index()));
+                }
+                SiteConstraint::Subset(set) => {
+                    out.push_str(&format!("node {} internal allow", node.index()));
+                    for id in set.iter() {
+                        out.push_str(&format!(" {}", id.index()));
+                    }
+                    out.push('\n');
+                }
+            },
+        }
+    }
+    for node in tree.node_ids() {
+        if let (Some(parent), Some(wire)) = (tree.parent(node), tree.wire_to_parent(node)) {
+            out.push_str(&format!(
+                "edge {} {} {} {}",
+                parent.index(),
+                node.index(),
+                wire.resistance().value(),
+                wire.capacitance().femtos()
+            ));
+            if let Some(l) = wire.length() {
+                out.push_str(&format!(" len {}", l.value()));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the text format into a validated [`RoutingTree`].
+///
+/// # Errors
+///
+/// [`NetParseError`] describing the first offending line; structural
+/// problems detected by [`TreeBuilder::build`] are reported on line 0.
+pub fn parse(text: &str) -> Result<RoutingTree, NetParseError> {
+    enum Decl {
+        Source(Driver),
+        Sink(Farads, Seconds),
+        Internal(SiteConstraint),
+    }
+
+    let mut node_count: Option<usize> = None;
+    let mut decls: Vec<Option<(usize, Decl)>> = Vec::new(); // (line, decl)
+    let mut edges: Vec<(usize, usize, usize, Wire)> = Vec::new(); // (line, parent, child)
+    let mut saw_header = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let head = tok.next().expect("non-empty line has a token");
+        match head {
+            "fastbuf-net" => {
+                saw_header = true;
+            }
+            "nodes" => {
+                let n = next_num(&mut tok, lineno, "node count")? as usize;
+                node_count = Some(n);
+                decls = (0..n).map(|_| None).collect();
+            }
+            "node" => {
+                let n = node_count
+                    .ok_or_else(|| NetParseError::new(lineno, "`nodes` must precede `node`"))?;
+                let id = next_num(&mut tok, lineno, "node id")? as usize;
+                if id >= n {
+                    return Err(NetParseError::new(
+                        lineno,
+                        format!("node id {id} out of range (nodes {n})"),
+                    ));
+                }
+                if decls[id].is_some() {
+                    return Err(NetParseError::new(lineno, format!("node {id} redefined")));
+                }
+                let kind = tok
+                    .next()
+                    .ok_or_else(|| NetParseError::new(lineno, "missing node kind"))?;
+                let decl = match kind {
+                    "source" => {
+                        let r = tok
+                            .next()
+                            .ok_or_else(|| NetParseError::new(lineno, "missing resistance"))?
+                            .parse::<f64>()
+                            .map_err(|e| NetParseError::new(lineno, format!("bad resistance: {e}")))?;
+                        let mut driver = Driver::new(Ohms::new(r));
+                        if let Some(k) = tok.next() {
+                            let k: f64 = k.parse().map_err(|e| {
+                                NetParseError::new(lineno, format!("bad intrinsic delay: {e}"))
+                            })?;
+                            driver = driver.with_intrinsic_delay(Seconds::from_pico(k));
+                        }
+                        Decl::Source(driver)
+                    }
+                    "sink" => {
+                        let c = tok
+                            .next()
+                            .ok_or_else(|| NetParseError::new(lineno, "missing capacitance"))?
+                            .parse::<f64>()
+                            .map_err(|e| NetParseError::new(lineno, format!("bad capacitance: {e}")))?;
+                        let rat = tok
+                            .next()
+                            .ok_or_else(|| NetParseError::new(lineno, "missing rat"))?
+                            .parse::<f64>()
+                            .map_err(|e| NetParseError::new(lineno, format!("bad rat: {e}")))?;
+                        Decl::Sink(Farads::from_femto(c), Seconds::from_pico(rat))
+                    }
+                    "internal" => match tok.next() {
+                        None => Decl::Internal(SiteConstraint::NotASite),
+                        Some("site") => Decl::Internal(SiteConstraint::AnyBuffer),
+                        Some("allow") => {
+                            let mut ids = Vec::new();
+                            for t in tok.by_ref() {
+                                let v: usize = t.parse().map_err(|e| {
+                                    NetParseError::new(lineno, format!("bad buffer id: {e}"))
+                                })?;
+                                ids.push(BufferTypeId::new(v));
+                            }
+                            let set: BufferSet = ids.into_iter().collect();
+                            Decl::Internal(SiteConstraint::Subset(Arc::new(set)))
+                        }
+                        Some(other) => {
+                            return Err(NetParseError::new(
+                                lineno,
+                                format!("unknown internal qualifier `{other}`"),
+                            ));
+                        }
+                    },
+                    other => {
+                        return Err(NetParseError::new(
+                            lineno,
+                            format!("unknown node kind `{other}`"),
+                        ));
+                    }
+                };
+                decls[id] = Some((lineno, decl));
+            }
+            "edge" => {
+                let parent = next_num(&mut tok, lineno, "parent id")? as usize;
+                let child = next_num(&mut tok, lineno, "child id")? as usize;
+                let r = next_num(&mut tok, lineno, "wire resistance")?;
+                let c = next_num(&mut tok, lineno, "wire capacitance")?;
+                let mut wire = Wire::new(Ohms::new(r), Farads::from_femto(c));
+                match tok.next() {
+                    None => {}
+                    Some("len") => {
+                        let l = next_num(&mut tok, lineno, "length")?;
+                        // Preserve the geometric length without changing the
+                        // explicit parasitics: rebuild via split of a synthetic
+                        // one-piece technology-free wire.
+                        wire = Wire::from_parts(
+                            Ohms::new(r),
+                            Farads::from_femto(c),
+                            Some(Microns::new(l)),
+                        );
+                    }
+                    Some(other) => {
+                        return Err(NetParseError::new(
+                            lineno,
+                            format!("unexpected token `{other}` on edge"),
+                        ));
+                    }
+                }
+                edges.push((lineno, parent, child, wire));
+            }
+            other => {
+                return Err(NetParseError::new(
+                    lineno,
+                    format!("unknown directive `{other}`"),
+                ));
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(NetParseError::new(0, "missing `fastbuf-net v1` header"));
+    }
+    let n = node_count.ok_or_else(|| NetParseError::new(0, "missing `nodes` directive"))?;
+    let mut b = TreeBuilder::new();
+    for (id, d) in decls.iter().enumerate() {
+        match d {
+            None => {
+                return Err(NetParseError::new(0, format!("node {id} never defined")));
+            }
+            Some((_, Decl::Source(driver))) => {
+                b.source(*driver);
+            }
+            Some((_, Decl::Sink(c, rat))) => {
+                b.sink(*c, *rat);
+            }
+            Some((_, Decl::Internal(con))) => {
+                b.internal_with(con.clone());
+            }
+        }
+    }
+    for (lineno, parent, child, wire) in edges {
+        if parent >= n || child >= n {
+            return Err(NetParseError::new(lineno, "edge endpoint out of range"));
+        }
+        b.connect(NodeId::new(parent), NodeId::new(child), wire)
+            .map_err(|e| NetParseError::new(lineno, e.to_string()))?;
+    }
+    b.build().map_err(|e| NetParseError::new(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::Technology;
+
+    fn sample() -> RoutingTree {
+        let tech = Technology::tsmc180_like();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(180.0)).with_intrinsic_delay(Seconds::from_pico(3.0)));
+        let tee = b.internal();
+        let site = b.buffer_site();
+        let mut allowed = BufferSet::empty(4);
+        allowed.insert(BufferTypeId::new(0));
+        allowed.insert(BufferTypeId::new(2));
+        let limited = b.internal_with(SiteConstraint::Subset(Arc::new(allowed)));
+        let s1 = b.sink(Farads::from_femto(10.0), Seconds::from_pico(500.0));
+        let s2 = b.sink(Farads::from_femto(7.5), Seconds::from_pico(430.0));
+        b.connect(src, tee, Wire::from_length(&tech, Microns::new(100.0)))
+            .unwrap();
+        b.connect(tee, site, Wire::new(Ohms::new(3.8), Farads::from_femto(5.9)))
+            .unwrap();
+        b.connect(site, s1, Wire::new(Ohms::new(1.0), Farads::from_femto(2.0)))
+            .unwrap();
+        b.connect(tee, limited, Wire::new(Ohms::new(2.0), Farads::from_femto(3.0)))
+            .unwrap();
+        b.connect(limited, s2, Wire::new(Ohms::new(1.5), Farads::from_femto(2.5)))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let text = write(&t);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.sink_count(), t.sink_count());
+        assert_eq!(back.buffer_site_count(), t.buffer_site_count());
+        for n in t.node_ids() {
+            // Unit conversion (F -> fF -> F) may cost one ULP; compare
+            // numerically rather than bitwise.
+            match (back.kind(n), t.kind(n)) {
+                (
+                    NodeKind::Sink {
+                        capacitance: c1,
+                        required_arrival: r1,
+                    },
+                    NodeKind::Sink {
+                        capacitance: c2,
+                        required_arrival: r2,
+                    },
+                ) => {
+                    assert!((c1.femtos() - c2.femtos()).abs() < 1e-9, "cap of {n}");
+                    assert!((r1.picos() - r2.picos()).abs() < 1e-9, "rat of {n}");
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "kind of {n}"
+                ),
+            }
+            // Subset universes are normalized to max id + 1 by parsing, so
+            // compare membership, not representation.
+            for b in 0..8 {
+                let id = BufferTypeId::new(b);
+                assert_eq!(
+                    back.site_constraint(n).allows(id),
+                    t.site_constraint(n).allows(id),
+                    "site of {n} buffer {b}"
+                );
+            }
+            assert_eq!(back.parent(n), t.parent(n), "parent of {n}");
+            match (back.wire_to_parent(n), t.wire_to_parent(n)) {
+                (Some(a), Some(b)) => {
+                    assert!((a.resistance().value() - b.resistance().value()).abs() < 1e-9);
+                    assert!((a.capacitance().femtos() - b.capacitance().femtos()).abs() < 1e-9);
+                    match (a.length(), b.length()) {
+                        (Some(x), Some(y)) => assert!((x.value() - y.value()).abs() < 1e-9),
+                        (None, None) => {}
+                        other => panic!("length mismatch at {n}: {other:?}"),
+                    }
+                }
+                (None, None) => {}
+                other => panic!("wire mismatch at {n}: {other:?}"),
+            }
+        }
+        // Driver intrinsic delay survives.
+        assert!((back.driver().intrinsic_delay().picos() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\nfastbuf-net v1\nnodes 2 # trailing\nnode 0 source 100\nnode 1 sink 1 10\nedge 0 1 1 1\n\n";
+        let t = parse(text).unwrap();
+        assert_eq!(t.node_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let missing_header = "nodes 1\nnode 0 source 1\n";
+        assert_eq!(parse(missing_header).unwrap_err().line, 0);
+
+        let bad = "fastbuf-net v1\nnodes 2\nnode 0 source 100\nnode 1 sink x 10\nedge 0 1 1 1\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bad capacitance"));
+
+        let oob = "fastbuf-net v1\nnodes 1\nnode 0 source 100\nedge 0 5 1 1\n";
+        let e = parse(oob).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("out of range"));
+
+        let redef = "fastbuf-net v1\nnodes 2\nnode 0 source 1\nnode 0 source 1\n";
+        assert!(parse(redef).unwrap_err().message.contains("redefined"));
+
+        let unknown = "fastbuf-net v1\nnodes 1\nnode 0 widget 1\n";
+        assert!(parse(unknown).unwrap_err().message.contains("unknown node kind"));
+
+        let undef = "fastbuf-net v1\nnodes 2\nnode 0 source 1\n";
+        assert!(parse(undef).unwrap_err().message.contains("never defined"));
+    }
+
+    #[test]
+    fn structural_errors_surface_from_build() {
+        // Two roots: node 1 unreachable.
+        let text = "fastbuf-net v1\nnodes 2\nnode 0 source 1\nnode 1 sink 1 1\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("not reachable"), "{e}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = NetParseError::new(3, "boom");
+        assert_eq!(e.to_string(), "net parse error at line 3: boom");
+        let e = NetParseError::new(0, "boom");
+        assert_eq!(e.to_string(), "net parse error: boom");
+    }
+}

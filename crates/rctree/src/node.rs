@@ -1,0 +1,310 @@
+//! Node and wire primitives of a routing tree.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
+use fastbuf_buflib::{BufferSet, BufferTypeId, Driver, Technology};
+
+/// Identifier of a node within a [`RoutingTree`](crate::RoutingTree).
+///
+/// Ids are dense indices assigned by the [`TreeBuilder`](crate::TreeBuilder)
+/// in creation order; they are only meaningful relative to the tree that
+/// issued them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a tree vertex is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// The net's source (root). Exactly one per tree.
+    Source {
+        /// The driving gate at the source.
+        driver: Driver,
+    },
+    /// A sink (leaf) with its load and timing requirement.
+    Sink {
+        /// Pin load capacitance, the paper's `c(s)`.
+        capacitance: Farads,
+        /// Required arrival time, the paper's `RAT(s)`. Slack at the source
+        /// is `min_s (RAT(s) − delay(source→s))`.
+        required_arrival: Seconds,
+    },
+    /// An internal vertex (Steiner point or candidate buffer position).
+    Internal,
+}
+
+impl NodeKind {
+    /// `true` for [`NodeKind::Sink`].
+    pub fn is_sink(&self) -> bool {
+        matches!(self, NodeKind::Sink { .. })
+    }
+
+    /// `true` for [`NodeKind::Source`].
+    pub fn is_source(&self) -> bool {
+        matches!(self, NodeKind::Source { .. })
+    }
+
+    /// `true` for [`NodeKind::Internal`].
+    pub fn is_internal(&self) -> bool {
+        matches!(self, NodeKind::Internal)
+    }
+}
+
+/// Which buffer types may be inserted at an internal vertex — the paper's
+/// `f : V_int → 2^B`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum SiteConstraint {
+    /// Not a buffer position: nothing may be inserted here.
+    #[default]
+    NotASite,
+    /// Any library buffer may be inserted.
+    AnyBuffer,
+    /// Only the given subset of the library may be inserted. An empty set
+    /// behaves like [`SiteConstraint::NotASite`].
+    Subset(Arc<BufferSet>),
+}
+
+impl SiteConstraint {
+    /// `true` if at least buffering is possible here (note a `Subset` with an
+    /// empty set returns `false`).
+    pub fn is_site(&self) -> bool {
+        match self {
+            SiteConstraint::NotASite => false,
+            SiteConstraint::AnyBuffer => true,
+            SiteConstraint::Subset(s) => !s.is_empty(),
+        }
+    }
+
+    /// `true` if buffer type `id` may be inserted here.
+    pub fn allows(&self, id: BufferTypeId) -> bool {
+        match self {
+            SiteConstraint::NotASite => false,
+            SiteConstraint::AnyBuffer => true,
+            SiteConstraint::Subset(s) => s.contains(id),
+        }
+    }
+}
+
+/// A wire segment: lumped resistance and capacitance, with an optional
+/// geometric length (needed by pitch-based [`segmenting`](crate::segment)).
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::Technology;
+/// use fastbuf_buflib::units::Microns;
+/// use fastbuf_rctree::Wire;
+///
+/// let w = Wire::from_length(&Technology::tsmc180_like(), Microns::new(100.0));
+/// assert!((w.resistance().value() - 7.6).abs() < 1e-9);
+/// let (a, b) = (w.split(4), w.split(4));
+/// assert!((a.resistance().value() - 1.9).abs() < 1e-9);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Wire {
+    resistance: Ohms,
+    capacitance: Farads,
+    length: Option<Microns>,
+}
+
+impl Wire {
+    /// Creates a wire from lumped parasitics (no geometric length).
+    pub fn new(resistance: Ohms, capacitance: Farads) -> Self {
+        Wire {
+            resistance,
+            capacitance,
+            length: None,
+        }
+    }
+
+    /// Creates a wire of the given length in a technology; parasitics are
+    /// `length ×` the technology's per-micron values.
+    pub fn from_length(tech: &Technology, length: Microns) -> Self {
+        let (r, c) = tech.wire(length);
+        Wire {
+            resistance: r,
+            capacitance: c,
+            length: Some(length),
+        }
+    }
+
+    /// Creates a wire from explicit parasitics and an optional geometric
+    /// length (the length is carried as metadata; it is *not* used to
+    /// recompute the parasitics).
+    pub fn from_parts(resistance: Ohms, capacitance: Farads, length: Option<Microns>) -> Self {
+        Wire {
+            resistance,
+            capacitance,
+            length,
+        }
+    }
+
+    /// The zero wire (0 Ω, 0 F, zero length). Used for the conceptual edge
+    /// `(v, v')` of zero resistance and capacitance in the paper's
+    /// `AddBuffer` description.
+    pub fn zero() -> Self {
+        Wire {
+            resistance: Ohms::ZERO,
+            capacitance: Farads::ZERO,
+            length: Some(Microns::ZERO),
+        }
+    }
+
+    /// Lumped resistance.
+    #[inline]
+    pub fn resistance(&self) -> Ohms {
+        self.resistance
+    }
+
+    /// Lumped capacitance.
+    #[inline]
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Geometric length, if known.
+    #[inline]
+    pub fn length(&self) -> Option<Microns> {
+        self.length
+    }
+
+    /// An equal division of this wire into `pieces` parts (parasitics and
+    /// length all divided by `pieces`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is zero.
+    pub fn split(&self, pieces: usize) -> Wire {
+        assert!(pieces > 0, "cannot split a wire into zero pieces");
+        let k = pieces as f64;
+        Wire {
+            resistance: self.resistance / k,
+            capacitance: self.capacitance / k,
+            length: self.length.map(|l| l / k),
+        }
+    }
+
+    /// Elmore delay of this wire driving `downstream` capacitance:
+    /// `R · (C/2 + downstream)`.
+    #[inline]
+    pub fn delay(&self, downstream: Farads) -> Seconds {
+        self.resistance * (self.capacitance / 2.0 + downstream)
+    }
+
+    /// `true` if both parasitics are finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.resistance.is_finite()
+            && self.capacitance.is_finite()
+            && self.resistance >= Ohms::ZERO
+            && self.capacitance >= Farads::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(12);
+        assert_eq!(id.index(), 12);
+        assert_eq!(id.to_string(), "n12");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Internal.is_internal());
+        assert!(NodeKind::Source {
+            driver: Driver::default()
+        }
+        .is_source());
+        assert!(NodeKind::Sink {
+            capacitance: Farads::ZERO,
+            required_arrival: Seconds::ZERO
+        }
+        .is_sink());
+    }
+
+    #[test]
+    fn site_constraint_allows() {
+        use fastbuf_buflib::BufferSet;
+        let none = SiteConstraint::NotASite;
+        let any = SiteConstraint::AnyBuffer;
+        let mut set = BufferSet::empty(4);
+        set.insert(BufferTypeId::new(2));
+        let sub = SiteConstraint::Subset(Arc::new(set));
+
+        let b2 = BufferTypeId::new(2);
+        let b3 = BufferTypeId::new(3);
+        assert!(!none.is_site() && !none.allows(b2));
+        assert!(any.is_site() && any.allows(b2) && any.allows(b3));
+        assert!(sub.is_site() && sub.allows(b2) && !sub.allows(b3));
+
+        let empty = SiteConstraint::Subset(Arc::new(BufferSet::empty(4)));
+        assert!(!empty.is_site());
+    }
+
+    #[test]
+    fn default_constraint_is_not_a_site() {
+        assert_eq!(SiteConstraint::default(), SiteConstraint::NotASite);
+    }
+
+    #[test]
+    fn wire_delay_formula() {
+        let w = Wire::new(Ohms::new(100.0), Farads::from_femto(10.0));
+        // 100 * (5 fF + 20 fF) = 2.5 ps
+        let d = w.delay(Farads::from_femto(20.0));
+        assert!((d.picos() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_split_divides_parasitics_and_length() {
+        let tech = Technology::tsmc180_like();
+        let w = Wire::from_length(&tech, Microns::new(100.0));
+        let h = w.split(2);
+        assert!((h.resistance().value() - 3.8).abs() < 1e-9);
+        assert!((h.capacitance().femtos() - 5.9).abs() < 1e-9);
+        assert_eq!(h.length(), Some(Microns::new(50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pieces")]
+    fn split_zero_panics() {
+        Wire::zero().split(0);
+    }
+
+    #[test]
+    fn zero_wire_has_no_delay() {
+        assert_eq!(Wire::zero().delay(Farads::from_femto(1000.0)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Wire::zero().is_valid());
+        assert!(!Wire::new(Ohms::new(-1.0), Farads::ZERO).is_valid());
+        assert!(!Wire::new(Ohms::new(f64::INFINITY), Farads::ZERO).is_valid());
+        assert!(!Wire::new(Ohms::ZERO, Farads::new(-1e-15)).is_valid());
+    }
+}

@@ -1,0 +1,150 @@
+//! Summary statistics of a routing tree.
+
+use std::fmt;
+
+use fastbuf_buflib::units::{Farads, Microns, Ohms};
+
+use crate::node::NodeKind;
+use crate::tree::RoutingTree;
+
+/// Size and parasitic summary of a [`RoutingTree`], as printed by the CLI
+/// and the benchmark harnesses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Number of sinks (the paper's `m`).
+    pub sinks: usize,
+    /// Number of internal vertices.
+    pub internals: usize,
+    /// Number of buffer positions (the paper's `n`).
+    pub buffer_sites: usize,
+    /// Number of edges (always `nodes - 1`).
+    pub edges: usize,
+    /// Maximum depth in edges from the source to any node.
+    pub max_depth: usize,
+    /// Sum of wire resistances.
+    pub total_wire_resistance: Ohms,
+    /// Sum of wire capacitances.
+    pub total_wire_capacitance: Farads,
+    /// Sum of sink pin capacitances.
+    pub total_sink_capacitance: Farads,
+    /// Total routed length, if every wire has a geometric length.
+    pub total_length: Option<Microns>,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree`.
+    pub fn compute(tree: &RoutingTree) -> Self {
+        let mut depth = vec![0usize; tree.node_count()];
+        let mut max_depth = 0;
+        for &node in tree.postorder().iter().rev() {
+            if let Some(p) = tree.parent(node) {
+                depth[node.index()] = depth[p.index()] + 1;
+                max_depth = max_depth.max(depth[node.index()]);
+            }
+        }
+        let mut total_wire_resistance = Ohms::ZERO;
+        let mut total_wire_capacitance = Farads::ZERO;
+        let mut total_sink_capacitance = Farads::ZERO;
+        let mut total_length = Some(Microns::ZERO);
+        let mut internals = 0;
+        for node in tree.node_ids() {
+            if let Some(w) = tree.wire_to_parent(node) {
+                total_wire_resistance += w.resistance();
+                total_wire_capacitance += w.capacitance();
+                total_length = match (total_length, w.length()) {
+                    (Some(acc), Some(l)) => Some(acc + l),
+                    _ => None,
+                };
+            }
+            match tree.kind(node) {
+                NodeKind::Sink { capacitance, .. } => total_sink_capacitance += *capacitance,
+                NodeKind::Internal => internals += 1,
+                NodeKind::Source { .. } => {}
+            }
+        }
+        TreeStats {
+            nodes: tree.node_count(),
+            sinks: tree.sink_count(),
+            internals,
+            buffer_sites: tree.buffer_site_count(),
+            edges: tree.node_count() - 1,
+            max_depth,
+            total_wire_resistance,
+            total_wire_capacitance,
+            total_sink_capacitance,
+            total_length,
+        }
+    }
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} sinks={} internals={} buffer_sites={} depth={} wire R={} C={} sink C={}",
+            self.nodes,
+            self.sinks,
+            self.internals,
+            self.buffer_sites,
+            self.max_depth,
+            self.total_wire_resistance,
+            self.total_wire_capacitance,
+            self.total_sink_capacitance,
+        )?;
+        if let Some(l) = self.total_length {
+            write!(f, " length={l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+    use crate::node::Wire;
+    use fastbuf_buflib::units::{Ohms as O, Seconds};
+    use fastbuf_buflib::{Driver, Technology};
+
+    #[test]
+    fn computes_counts_and_totals() {
+        let tech = Technology::tsmc180_like();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::default());
+        let mid = b.buffer_site();
+        let s1 = b.sink(Farads::from_femto(3.0), Seconds::ZERO);
+        let s2 = b.sink(Farads::from_femto(4.0), Seconds::ZERO);
+        b.connect(src, mid, Wire::from_length(&tech, Microns::new(100.0)))
+            .unwrap();
+        b.connect(mid, s1, Wire::from_length(&tech, Microns::new(50.0)))
+            .unwrap();
+        b.connect(mid, s2, Wire::from_length(&tech, Microns::new(50.0)))
+            .unwrap();
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.nodes, 4);
+        assert_eq!(stats.sinks, 2);
+        assert_eq!(stats.internals, 1);
+        assert_eq!(stats.buffer_sites, 1);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.max_depth, 2);
+        assert!((stats.total_sink_capacitance.femtos() - 7.0).abs() < 1e-9);
+        assert!((stats.total_length.unwrap().value() - 200.0).abs() < 1e-9);
+        assert!((stats.total_wire_resistance.value() - 0.076 * 200.0).abs() < 1e-9);
+        let s = stats.to_string();
+        assert!(s.contains("sinks=2"));
+        assert!(s.contains("length="));
+    }
+
+    #[test]
+    fn length_is_none_when_any_wire_lacks_it() {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::default());
+        let s1 = b.sink(Farads::ZERO, Seconds::ZERO);
+        b.connect(src, s1, Wire::new(O::new(1.0), Farads::ZERO)).unwrap();
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.total_length, None);
+        assert!(!stats.to_string().contains("length="));
+    }
+}

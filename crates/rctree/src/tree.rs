@@ -1,0 +1,618 @@
+//! The routing tree and its builder.
+
+use fastbuf_buflib::Driver;
+use fastbuf_buflib::units::{Farads, Seconds};
+
+use crate::error::TreeError;
+use crate::node::{NodeId, NodeKind, SiteConstraint, Wire};
+use crate::stats::TreeStats;
+
+/// An immutable, validated routing tree.
+///
+/// Built with [`TreeBuilder`]. Guarantees after construction:
+///
+/// * exactly one source, which is the root;
+/// * every other node has exactly one parent and is reachable from the root;
+/// * all leaves are sinks and all sinks are leaves;
+/// * all wires and sink parameters are finite and non-negative;
+/// * a post-order traversal (children before parents) is precomputed.
+#[derive(Clone, Debug)]
+pub struct RoutingTree {
+    kinds: Vec<NodeKind>,
+    sites: Vec<SiteConstraint>,
+    parent: Vec<Option<NodeId>>,
+    wires: Vec<Wire>,
+    child_start: Vec<u32>,
+    child_list: Vec<NodeId>,
+    postorder: Vec<NodeId>,
+    root: NodeId,
+    sink_count: usize,
+    site_count: usize,
+}
+
+impl RoutingTree {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The root (source) node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The source driver.
+    pub fn driver(&self) -> &Driver {
+        match &self.kinds[self.root.index()] {
+            NodeKind::Source { driver } => driver,
+            _ => unreachable!("root is always a source"),
+        }
+    }
+
+    /// The kind of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not from this tree.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.kinds[node.index()]
+    }
+
+    /// The buffer-site constraint at `node` ([`SiteConstraint::NotASite`]
+    /// for sinks and the source).
+    #[inline]
+    pub fn site_constraint(&self, node: NodeId) -> &SiteConstraint {
+        &self.sites[node.index()]
+    }
+
+    /// `true` if buffers may be inserted at `node`.
+    #[inline]
+    pub fn is_buffer_site(&self, node: NodeId) -> bool {
+        self.sites[node.index()].is_site()
+    }
+
+    /// The parent of `node` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// The wire from `node` to its parent (`None` for the root).
+    #[inline]
+    pub fn wire_to_parent(&self, node: NodeId) -> Option<&Wire> {
+        if self.parent[node.index()].is_some() {
+            Some(&self.wires[node.index()])
+        } else {
+            None
+        }
+    }
+
+    /// The children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.child_list[self.child_start[i] as usize..self.child_start[i + 1] as usize]
+    }
+
+    /// Nodes in post-order: every node appears after all of its children.
+    /// The last entry is the root. The reversed slice visits parents before
+    /// children (a valid top-down order).
+    #[inline]
+    pub fn postorder(&self) -> &[NodeId] {
+        &self.postorder
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len()).map(NodeId::new)
+    }
+
+    /// Iterates over sink nodes in index order.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.kinds[n.index()].is_sink())
+    }
+
+    /// Iterates over buffer positions in index order.
+    pub fn buffer_sites(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.is_buffer_site(n))
+    }
+
+    /// Number of sinks (the paper's `m`).
+    #[inline]
+    pub fn sink_count(&self) -> usize {
+        self.sink_count
+    }
+
+    /// Number of buffer positions (the paper's `n`).
+    #[inline]
+    pub fn buffer_site_count(&self) -> usize {
+        self.site_count
+    }
+
+    /// Summary statistics (node/sink/site counts, depth, total parasitics).
+    pub fn stats(&self) -> TreeStats {
+        TreeStats::compute(self)
+    }
+}
+
+/// Incremental builder for [`RoutingTree`].
+///
+/// Create nodes with [`TreeBuilder::source`], [`TreeBuilder::sink`],
+/// [`TreeBuilder::internal`] or [`TreeBuilder::buffer_site`]; connect them
+/// with [`TreeBuilder::connect`]; finish with [`TreeBuilder::build`], which
+/// validates the whole structure.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::Driver;
+/// use fastbuf_buflib::units::{Farads, Ohms, Seconds};
+/// use fastbuf_rctree::{TreeBuilder, Wire};
+///
+/// let mut b = TreeBuilder::new();
+/// let src = b.source(Driver::new(Ohms::new(100.0)));
+/// let tee = b.internal();
+/// let s1 = b.sink(Farads::from_femto(5.0), Seconds::from_pico(300.0));
+/// let s2 = b.sink(Farads::from_femto(8.0), Seconds::from_pico(250.0));
+/// b.connect(src, tee, Wire::new(Ohms::new(10.0), Farads::from_femto(20.0)))?;
+/// b.connect(tee, s1, Wire::new(Ohms::new(5.0), Farads::from_femto(10.0)))?;
+/// b.connect(tee, s2, Wire::new(Ohms::new(5.0), Farads::from_femto(10.0)))?;
+/// let tree = b.build()?;
+/// assert_eq!(tree.node_count(), 4);
+/// assert_eq!(tree.children(tee).len(), 2);
+/// # Ok::<(), fastbuf_rctree::TreeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    kinds: Vec<NodeKind>,
+    sites: Vec<SiteConstraint>,
+    parent: Vec<Option<NodeId>>,
+    wires: Vec<Wire>,
+    children: Vec<Vec<NodeId>>,
+    source: Option<NodeId>,
+    extra_source: Option<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    fn push(&mut self, kind: NodeKind, site: SiteConstraint) -> NodeId {
+        let id = NodeId::new(self.kinds.len());
+        self.kinds.push(kind);
+        self.sites.push(site);
+        self.parent.push(None);
+        self.wires.push(Wire::zero());
+        self.children.push(Vec::new());
+        id
+    }
+
+    /// Adds the source node. The first call defines the root; additional
+    /// calls are recorded and reported as
+    /// [`TreeError::MultipleSources`] by [`TreeBuilder::build`].
+    pub fn source(&mut self, driver: Driver) -> NodeId {
+        let id = self.push(NodeKind::Source { driver }, SiteConstraint::NotASite);
+        if self.source.is_none() {
+            self.source = Some(id);
+        } else if self.extra_source.is_none() {
+            self.extra_source = Some(id);
+        }
+        id
+    }
+
+    /// Adds a sink with the given load capacitance and required arrival
+    /// time. Parameter validity is checked by [`TreeBuilder::build`].
+    pub fn sink(&mut self, capacitance: Farads, required_arrival: Seconds) -> NodeId {
+        self.push(
+            NodeKind::Sink {
+                capacitance,
+                required_arrival,
+            },
+            SiteConstraint::NotASite,
+        )
+    }
+
+    /// Adds an internal node that is *not* a buffer position (e.g. a Steiner
+    /// branching point).
+    pub fn internal(&mut self) -> NodeId {
+        self.push(NodeKind::Internal, SiteConstraint::NotASite)
+    }
+
+    /// Adds an internal node where any library buffer may be inserted.
+    pub fn buffer_site(&mut self) -> NodeId {
+        self.push(NodeKind::Internal, SiteConstraint::AnyBuffer)
+    }
+
+    /// Adds an internal node with an explicit site constraint.
+    pub fn internal_with(&mut self, constraint: SiteConstraint) -> NodeId {
+        self.push(NodeKind::Internal, constraint)
+    }
+
+    /// Replaces the site constraint of an existing internal node.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] if `node` was not created by this builder;
+    /// [`TreeError::SiteOnNonInternal`] if `node` is a source or sink and
+    /// `constraint` is anything but [`SiteConstraint::NotASite`].
+    pub fn set_site_constraint(
+        &mut self,
+        node: NodeId,
+        constraint: SiteConstraint,
+    ) -> Result<(), TreeError> {
+        let kind = self
+            .kinds
+            .get(node.index())
+            .ok_or(TreeError::UnknownNode { node })?;
+        if !kind.is_internal() && constraint.is_site() {
+            return Err(TreeError::SiteOnNonInternal { node });
+        }
+        self.sites[node.index()] = constraint;
+        Ok(())
+    }
+
+    /// Connects `child` under `parent` through `wire`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`], [`TreeError::SelfLoop`],
+    /// [`TreeError::DuplicateParent`] (child already connected),
+    /// [`TreeError::SourceHasParent`], or [`TreeError::InvalidWire`]
+    /// (negative / non-finite parasitics).
+    pub fn connect(&mut self, parent: NodeId, child: NodeId, wire: Wire) -> Result<(), TreeError> {
+        if parent.index() >= self.kinds.len() {
+            return Err(TreeError::UnknownNode { node: parent });
+        }
+        if child.index() >= self.kinds.len() {
+            return Err(TreeError::UnknownNode { node: child });
+        }
+        if parent == child {
+            return Err(TreeError::SelfLoop { node: parent });
+        }
+        if self.kinds[child.index()].is_source() {
+            return Err(TreeError::SourceHasParent);
+        }
+        if self.parent[child.index()].is_some() {
+            return Err(TreeError::DuplicateParent { node: child });
+        }
+        if !wire.is_valid() {
+            return Err(TreeError::InvalidWire { child });
+        }
+        self.parent[child.index()] = Some(parent);
+        self.wires[child.index()] = wire;
+        self.children[parent.index()].push(child);
+        Ok(())
+    }
+
+    /// Number of nodes created so far.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Validates the structure and produces the immutable tree.
+    ///
+    /// # Errors
+    ///
+    /// Any of the structural [`TreeError`] variants; see the crate
+    /// documentation for the invariants enforced.
+    pub fn build(self) -> Result<RoutingTree, TreeError> {
+        let root = self.source.ok_or(TreeError::NoSource)?;
+        if let Some(second) = self.extra_source {
+            return Err(TreeError::MultipleSources { second });
+        }
+        let n = self.kinds.len();
+
+        // Per-node validity.
+        let mut sink_count = 0usize;
+        let mut site_count = 0usize;
+        for i in 0..n {
+            let id = NodeId::new(i);
+            match &self.kinds[i] {
+                NodeKind::Sink {
+                    capacitance,
+                    required_arrival,
+                } => {
+                    sink_count += 1;
+                    if !capacitance.is_finite()
+                        || *capacitance < Farads::ZERO
+                        || !required_arrival.is_finite()
+                    {
+                        return Err(TreeError::InvalidSink { node: id });
+                    }
+                    if !self.children[i].is_empty() {
+                        return Err(TreeError::SinkWithChildren { node: id });
+                    }
+                }
+                NodeKind::Internal => {
+                    if self.children[i].is_empty() {
+                        return Err(TreeError::InternalLeaf { node: id });
+                    }
+                    if self.sites[i].is_site() {
+                        site_count += 1;
+                    }
+                }
+                NodeKind::Source { .. } => {}
+            }
+        }
+        if sink_count == 0 {
+            return Err(TreeError::NoSinks);
+        }
+
+        // Reachability + post-order via iterative DFS.
+        let mut postorder = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (node, next-child-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        visited[root.index()] = true;
+        while let Some((node, ci)) = stack.pop() {
+            let kids = &self.children[node.index()];
+            if ci < kids.len() {
+                stack.push((node, ci + 1));
+                let child = kids[ci];
+                // `connect` guarantees each child has exactly one parent, so
+                // a repeat visit is impossible in a well-formed builder.
+                visited[child.index()] = true;
+                stack.push((child, 0));
+            } else {
+                postorder.push(node);
+            }
+        }
+        if let Some(i) = visited.iter().position(|&v| !v) {
+            return Err(TreeError::Unreachable { node: NodeId::new(i) });
+        }
+
+        // Children CSR.
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut child_list = Vec::with_capacity(n.saturating_sub(1));
+        child_start.push(0u32);
+        for kids in &self.children {
+            child_list.extend_from_slice(kids);
+            child_start.push(child_list.len() as u32);
+        }
+
+        Ok(RoutingTree {
+            kinds: self.kinds,
+            sites: self.sites,
+            parent: self.parent,
+            wires: self.wires,
+            child_start,
+            child_list,
+            postorder,
+            root,
+            sink_count,
+            site_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::units::Ohms;
+
+    fn wire() -> Wire {
+        Wire::new(Ohms::new(10.0), Farads::from_femto(5.0))
+    }
+
+    fn sink_args() -> (Farads, Seconds) {
+        (Farads::from_femto(4.0), Seconds::from_pico(100.0))
+    }
+
+    /// src -> a(site) -> {s1, b(internal) -> s2}
+    fn small_tree() -> RoutingTree {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::new(Ohms::new(100.0)));
+        let a = b.buffer_site();
+        let s1 = b.sink(c, r);
+        let t = b.internal();
+        let s2 = b.sink(c, r);
+        b.connect(src, a, wire()).unwrap();
+        b.connect(a, s1, wire()).unwrap();
+        b.connect(a, t, wire()).unwrap();
+        b.connect(t, s2, wire()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_structure() {
+        let t = small_tree();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.sink_count(), 2);
+        assert_eq!(t.buffer_site_count(), 1);
+        assert_eq!(t.root(), NodeId::new(0));
+        assert_eq!(t.parent(NodeId::new(1)), Some(NodeId::new(0)));
+        assert_eq!(t.parent(t.root()), None);
+        assert!(t.wire_to_parent(t.root()).is_none());
+        assert!(t.wire_to_parent(NodeId::new(1)).is_some());
+        assert_eq!(t.children(NodeId::new(1)), &[NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(t.sinks().count(), 2);
+        assert_eq!(t.buffer_sites().count(), 1);
+        assert_eq!(t.driver().resistance(), Ohms::new(100.0));
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let t = small_tree();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; t.node_count()];
+            for (i, n) in t.postorder().iter().enumerate() {
+                pos[n.index()] = i;
+            }
+            pos
+        };
+        for n in t.node_ids() {
+            for &c in t.children(n) {
+                assert!(pos[c.index()] < pos[n.index()], "{c} must precede {n}");
+            }
+        }
+        assert_eq!(*t.postorder().last().unwrap(), t.root());
+        assert_eq!(t.postorder().len(), t.node_count());
+    }
+
+    #[test]
+    fn no_source_error() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        b.sink(c, r);
+        assert_eq!(b.build().unwrap_err(), TreeError::NoSource);
+    }
+
+    #[test]
+    fn multiple_sources_error() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let s0 = b.source(Driver::default());
+        let snk = b.sink(c, r);
+        b.connect(s0, snk, wire()).unwrap();
+        let s1 = b.source(Driver::default());
+        assert_eq!(
+            b.build().unwrap_err(),
+            TreeError::MultipleSources { second: s1 }
+        );
+    }
+
+    #[test]
+    fn no_sinks_error() {
+        let mut b = TreeBuilder::new();
+        b.source(Driver::default());
+        assert_eq!(b.build().unwrap_err(), TreeError::NoSinks);
+    }
+
+    #[test]
+    fn internal_leaf_error() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let snk = b.sink(c, r);
+        let dead = b.internal();
+        b.connect(src, snk, wire()).unwrap();
+        b.connect(src, dead, wire()).unwrap();
+        assert_eq!(b.build().unwrap_err(), TreeError::InternalLeaf { node: dead });
+    }
+
+    #[test]
+    fn sink_with_children_error() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let s1 = b.sink(c, r);
+        let s2 = b.sink(c, r);
+        b.connect(src, s1, wire()).unwrap();
+        b.connect(s1, s2, wire()).unwrap();
+        assert_eq!(b.build().unwrap_err(), TreeError::SinkWithChildren { node: s1 });
+    }
+
+    #[test]
+    fn unreachable_error() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let s1 = b.sink(c, r);
+        let orphan = b.sink(c, r);
+        b.connect(src, s1, wire()).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            TreeError::Unreachable { node: orphan }
+        );
+    }
+
+    #[test]
+    fn connect_errors() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let s1 = b.sink(c, r);
+        let ghost = NodeId::new(99);
+
+        assert_eq!(
+            b.connect(ghost, s1, wire()).unwrap_err(),
+            TreeError::UnknownNode { node: ghost }
+        );
+        assert_eq!(
+            b.connect(src, ghost, wire()).unwrap_err(),
+            TreeError::UnknownNode { node: ghost }
+        );
+        assert_eq!(
+            b.connect(src, src, wire()).unwrap_err(),
+            TreeError::SelfLoop { node: src }
+        );
+        assert_eq!(
+            b.connect(s1, src, wire()).unwrap_err(),
+            TreeError::SourceHasParent
+        );
+        let bad = Wire::new(Ohms::new(-1.0), Farads::ZERO);
+        assert_eq!(
+            b.connect(src, s1, bad).unwrap_err(),
+            TreeError::InvalidWire { child: s1 }
+        );
+        b.connect(src, s1, wire()).unwrap();
+        assert_eq!(
+            b.connect(src, s1, wire()).unwrap_err(),
+            TreeError::DuplicateParent { node: s1 }
+        );
+    }
+
+    #[test]
+    fn invalid_sink_error() {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::default());
+        let s = b.sink(Farads::new(-1e-15), Seconds::ZERO);
+        b.connect(src, s, wire()).unwrap();
+        assert_eq!(b.build().unwrap_err(), TreeError::InvalidSink { node: s });
+
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::default());
+        let s = b.sink(Farads::ZERO, Seconds::new(f64::INFINITY));
+        b.connect(src, s, wire()).unwrap();
+        assert_eq!(b.build().unwrap_err(), TreeError::InvalidSink { node: s });
+    }
+
+    #[test]
+    fn site_constraint_management() {
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let mid = b.internal();
+        let snk = b.sink(c, r);
+        b.connect(src, mid, wire()).unwrap();
+        b.connect(mid, snk, wire()).unwrap();
+
+        assert_eq!(
+            b.set_site_constraint(snk, SiteConstraint::AnyBuffer)
+                .unwrap_err(),
+            TreeError::SiteOnNonInternal { node: snk }
+        );
+        // Clearing a constraint on a sink is a no-op and allowed.
+        b.set_site_constraint(snk, SiteConstraint::NotASite).unwrap();
+        b.set_site_constraint(mid, SiteConstraint::AnyBuffer).unwrap();
+        let t = b.build().unwrap();
+        assert!(t.is_buffer_site(mid));
+        assert_eq!(t.buffer_site_count(), 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node chain exercises the iterative DFS.
+        let mut b = TreeBuilder::new();
+        let (c, r) = sink_args();
+        let src = b.source(Driver::default());
+        let mut cur = src;
+        for _ in 0..100_000 {
+            let nxt = b.buffer_site();
+            b.connect(cur, nxt, wire()).unwrap();
+            cur = nxt;
+        }
+        let snk = b.sink(c, r);
+        b.connect(cur, snk, wire()).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.node_count(), 100_002);
+        assert_eq!(t.postorder().len(), 100_002);
+        assert_eq!(t.postorder()[0], snk);
+    }
+}

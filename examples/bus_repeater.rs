@@ -1,0 +1,87 @@
+//! Repeater insertion on a bus-style caterpillar net with load limits.
+//!
+//! A long bus tapping many receivers is the workload the paper's
+//! introduction motivates with the Saxena et al. projection that 35% of all
+//! cells will be repeaters. This example adds a twist production flows
+//! care about: *maximum load* (slew) constraints — weak buffers may not
+//! legally drive large downstream capacitance. The solvers handle
+//! per-type `max_load` limits exactly.
+//!
+//! Run: `cargo run --release --example bus_repeater`
+
+use fastbuf::netgen::caterpillar_net;
+use fastbuf::prelude::*;
+use fastbuf::rctree::elmore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64-receiver bus: taps every 400 µm, 40 µm stubs.
+    let tree = caterpillar_net(64, Microns::new(400.0), Microns::new(40.0));
+    println!("bus: {}", tree.stats());
+
+    // Library with realistic drive-strength limits: each buffer may drive
+    // at most ~12x its own input capacitance.
+    let unconstrained = BufferLibrary::paper_synthetic(8)?;
+    let constrained = BufferLibrary::new(
+        unconstrained
+            .iter()
+            .map(|(_, b)| {
+                b.clone()
+                    .with_max_load(Farads::new(b.input_capacitance().value() * 12.0))
+            })
+            .collect(),
+    )?;
+
+    let unbuffered = elmore::evaluate(&tree, &unconstrained, &[])?;
+    println!("unbuffered slack: {}\n", unbuffered.slack);
+
+    let free = Solver::new(&tree, &unconstrained).solve();
+    free.verify(&tree, &unconstrained)?;
+    println!(
+        "no load limits:   slack {}, {} buffers",
+        free.slack,
+        free.placements.len()
+    );
+
+    let limited = Solver::new(&tree, &constrained).solve();
+    limited.verify(&tree, &constrained)?;
+    println!(
+        "with load limits: slack {}, {} buffers",
+        limited.slack,
+        limited.placements.len()
+    );
+    assert!(
+        limited.slack.picos() <= free.slack.picos() + 1e-6,
+        "constraints can only reduce the achievable slack"
+    );
+
+    // Which buffer types did the constrained solve use, and how often?
+    let mut histogram = vec![0usize; constrained.len()];
+    for p in &limited.placements {
+        histogram[p.buffer.index()] += 1;
+    }
+    println!("\nbuffer usage under load limits:");
+    for (id, buf) in constrained.iter() {
+        let n = histogram[id.index()];
+        if n > 0 {
+            println!(
+                "  {:>6}  R={:>12}  max_load={:>12}  used {n} times",
+                buf.name(),
+                buf.driving_resistance().to_string(),
+                buf.max_load().unwrap().to_string()
+            );
+        }
+    }
+
+    // Every receiver must still meet timing.
+    let report = elmore::evaluate(&tree, &constrained, &limited.placement_pairs())?;
+    let failing = report
+        .sink_slacks
+        .iter()
+        .filter(|(_, s)| s.value() < 0.0)
+        .count();
+    println!(
+        "\nreceivers missing timing after buffering: {failing}/{}",
+        report.sink_slacks.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Slack versus buffer cost: how much timing does each area unit buy?
+//!
+//! The unconstrained solver maximizes slack no matter how many buffers it
+//! burns. The cost-bounded solver ([`CostSolver`]) instead computes the
+//! whole Pareto frontier, realizing the "reduce buffer cost" application
+//! the paper's conclusion sketches. This example prints the frontier for a
+//! random 96-sink net and locates the knee: the cheapest budget achieving
+//! 95% of the maximum improvement.
+//!
+//! Run: `cargo run --release --example cost_tradeoff`
+
+use fastbuf::netgen::RandomNetSpec;
+use fastbuf::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = RandomNetSpec {
+        sinks: 96,
+        seed: 2005,
+        ..RandomNetSpec::paper(96)
+    }
+    .build();
+    let lib = BufferLibrary::paper_synthetic(8)?;
+    println!("net: {}", tree.stats());
+
+    let frontier = CostSolver::new(&tree, &lib).max_cost(160).solve()?;
+    let base = frontier.points.first().expect("frontier never empty");
+    let best = frontier.points.last().expect("frontier never empty");
+    let span = (best.slack - base.slack).picos().max(1e-9);
+
+    println!("\n{:>6} {:>9} {:>14} {:>12}", "cost", "buffers", "slack", "% of gain");
+    let mut knee: Option<&fastbuf::cost::FrontierPoint> = None;
+    for p in &frontier.points {
+        let pct = 100.0 * (p.slack - base.slack).picos() / span;
+        println!(
+            "{:>6} {:>9} {:>14} {:>11.1}%",
+            p.cost,
+            p.placements.len(),
+            p.slack.to_string(),
+            pct
+        );
+        if pct >= 95.0 && knee.is_none() {
+            knee = Some(p);
+        }
+    }
+
+    let knee = knee.expect("the last point reaches 100%");
+    println!(
+        "\nknee: 95% of the achievable improvement costs {} units ({} buffers) — the last {} units buy only {:.1} ps more",
+        knee.cost,
+        knee.placements.len(),
+        best.cost - knee.cost,
+        (best.slack - knee.slack).picos()
+    );
+
+    // Sanity: the frontier's maximum equals the unconstrained optimum.
+    let unconstrained = Solver::new(&tree, &lib).solve();
+    assert!(
+        (unconstrained.slack - best.slack).abs() < Seconds::from_pico(1e-3),
+        "frontier must reach the unconstrained optimum"
+    );
+    println!(
+        "unconstrained solver agrees: slack {} at cost {:.0}",
+        unconstrained.slack,
+        unconstrained.total_cost(&lib)
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Repeater insertion with inverters and polarity constraints.
+//!
+//! Inverters are smaller and faster than buffers, but flip polarity; legal
+//! solutions must deliver the right parity of inversions to every sink.
+//! This example compares three flows on the same net:
+//!
+//! 1. buffers only (the plain solver);
+//! 2. buffers + inverters with all sinks positive (inverters must pair up);
+//! 3. one sink negated (an odd inverter chain towards it becomes *free*).
+//!
+//! Run: `cargo run --release --example inverter_polarity`
+
+use fastbuf::polarity::{Polarity, PolaritySolver};
+use fastbuf::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::tsmc180_like();
+
+    // A net with two branches; k2 will later be negated (e.g. it feeds a
+    // falling-edge-triggered latch).
+    let mut b = TreeBuilder::new();
+    let src = b.source(Driver::new(Ohms::new(200.0)));
+    let mut prev = src;
+    for _ in 0..4 {
+        let s = b.buffer_site();
+        b.connect(prev, s, Wire::from_length(&tech, Microns::new(1500.0)))?;
+        prev = s;
+    }
+    let tee = b.internal();
+    b.connect(prev, tee, Wire::zero())?;
+    let mut arm1 = tee;
+    for _ in 0..3 {
+        let s = b.buffer_site();
+        b.connect(arm1, s, Wire::from_length(&tech, Microns::new(1200.0)))?;
+        arm1 = s;
+    }
+    let k1 = b.sink(Farads::from_femto(12.0), Seconds::from_pico(2000.0));
+    b.connect(arm1, k1, Wire::from_length(&tech, Microns::new(300.0)))?;
+    let mut arm2 = tee;
+    for _ in 0..3 {
+        let s = b.buffer_site();
+        b.connect(arm2, s, Wire::from_length(&tech, Microns::new(1400.0)))?;
+        arm2 = s;
+    }
+    let k2 = b.sink(Farads::from_femto(18.0), Seconds::from_pico(2200.0));
+    b.connect(arm2, k2, Wire::from_length(&tech, Microns::new(300.0)))?;
+    let tree = b.build()?;
+
+    // A mixed library: odd entries are inverters (cheaper, faster).
+    let mixed = BufferLibrary::paper_synthetic_mixed(16)?;
+    let buffers_only = BufferLibrary::new(
+        mixed
+            .iter()
+            .filter(|(_, t)| !t.is_inverting())
+            .map(|(_, t)| t.clone())
+            .collect(),
+    )?;
+
+    // 1. Buffers only.
+    let plain = Solver::new(&tree, &buffers_only).solve();
+    println!(
+        "buffers only:            slack {}  ({} repeaters)",
+        plain.slack,
+        plain.placements.len()
+    );
+
+    // 2. Mixed library, all sinks positive: inverter parity must be even
+    //    on every source->sink path.
+    let pos = PolaritySolver::new(&tree, &mixed).solve()?;
+    pos.verify(&tree, &mixed)?;
+    println!(
+        "with inverters (even):   slack {}  ({} repeaters, {} inverters)",
+        pos.slack,
+        pos.placements.len(),
+        pos.inverter_count
+    );
+    assert!(
+        pos.slack.picos() >= plain.slack.picos() - 1e-9,
+        "a richer library can only help"
+    );
+
+    // 3. Negate k2: the branch to it now *wants* an odd inverter count.
+    let mut solver = PolaritySolver::new(&tree, &mixed);
+    solver.require(k2, Polarity::Negative)?;
+    let neg = solver.solve()?;
+    neg.verify_with(&tree, &mixed, &[k2])?;
+    println!(
+        "with k2 negated:         slack {}  ({} repeaters, {} inverters)",
+        neg.slack,
+        neg.placements.len(),
+        neg.inverter_count
+    );
+
+    // Without any inverter in the library, negating k2 is infeasible.
+    let mut impossible = PolaritySolver::new(&tree, &buffers_only);
+    impossible.require(k2, Polarity::Negative)?;
+    match impossible.solve() {
+        Err(e) => println!("negated sink without inverters: {e}"),
+        Ok(_) => unreachable!("buffers cannot invert"),
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Working with net files: generate → save → load → solve → report.
+//!
+//! `fastbuf` ships a plain-text net format (see `fastbuf::rctree::io`) so
+//! nets can be exchanged with scripts and other tools. This example
+//! generates a random net, round-trips it through the format, solves both
+//! copies, and prints a small timing report — the same flow the `fastbuf`
+//! CLI wraps.
+//!
+//! Run: `cargo run --release --example net_files`
+
+use fastbuf::netgen::RandomNetSpec;
+use fastbuf::prelude::*;
+use fastbuf::rctree::io;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = RandomNetSpec {
+        sinks: 24,
+        seed: 7,
+        site_pitch: Some(Microns::new(150.0)),
+        ..RandomNetSpec::default()
+    }
+    .build();
+
+    // Serialize and show a excerpt of the format.
+    let text = io::write(&original);
+    println!("--- net file ({} lines), first 10: ---", text.lines().count());
+    for line in text.lines().take(10) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // Parse it back: the parser re-validates the whole structure.
+    let parsed = io::parse(&text)?;
+    assert_eq!(parsed.node_count(), original.node_count());
+    assert_eq!(parsed.sink_count(), original.sink_count());
+
+    // Both copies solve to the identical optimum.
+    let lib = BufferLibrary::paper_synthetic(16)?;
+    let a = Solver::new(&original, &lib).solve();
+    let b = Solver::new(&parsed, &lib).solve();
+    assert_eq!(a.slack, b.slack);
+    println!("slack from original net: {}", a.slack);
+    println!("slack from parsed net:   {}", b.slack);
+
+    // A report a timing engineer would want: worst sinks after buffering.
+    let report = fastbuf::rctree::elmore::evaluate(&parsed, &lib, &b.placement_pairs())?;
+    let mut slacks = report.sink_slacks.clone();
+    slacks.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
+    println!("\nworst 5 sinks after buffering ({} buffers):", b.placements.len());
+    for (node, slack) in slacks.iter().take(5) {
+        println!("  {node}: {slack}");
+    }
+
+    // Malformed input is rejected with a line number.
+    let bad = text.replace("sink", "sunk");
+    match io::parse(&bad) {
+        Err(e) => println!("\nmalformed file rejected as expected: {e}"),
+        Ok(_) => unreachable!("parser must reject unknown node kinds"),
+    }
+    Ok(())
+}

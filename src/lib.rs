@@ -1,0 +1,76 @@
+//! # fastbuf — optimal buffer insertion for interconnect delay
+//!
+//! A Rust implementation of the van Ginneken family of buffer-insertion
+//! algorithms, reproducing **Li & Shi, "An O(bn²) Time Algorithm for
+//! Optimal Buffer Insertion with b Buffer Types", DATE 2005**:
+//!
+//! * [`Algorithm::Lillis`] — the Lillis–Cheng–Lin O(b²n²) multi-type
+//!   algorithm (and van Ginneken's O(n²) original when `b = 1`);
+//! * [`Algorithm::LiShi`] — the paper's O(bn²) algorithm: at each buffer
+//!   position, the candidates that spawn buffered candidates lie on the
+//!   convex hull of the `(Q, C)` set, so one Graham scan plus one monotone
+//!   walk replaces `b` full scans;
+//! * [`Algorithm::LiShiPermanent`] — the paper's published pruning
+//!   verbatim (see `DESIGN.md` §2.1 for why the default keeps the full
+//!   list);
+//! * [`cost::CostSolver`] — the slack-vs-cost Pareto frontier (the cost
+//!   extension the paper's conclusion sketches).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`buflib`] | `fastbuf-buflib` | units, buffers, libraries, technology, clustering |
+//! | [`rctree`] | `fastbuf-rctree` | routing trees, Elmore evaluation, segmenting, net files |
+//! | (root) | `fastbuf-core` | the solvers themselves |
+//! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets at the paper's scales |
+//!
+//! # Quick start
+//!
+//! ```
+//! use fastbuf::prelude::*;
+//!
+//! // A 12 mm two-pin net with 11 candidate buffer positions.
+//! let tech = Technology::tsmc180_like();
+//! let lib = BufferLibrary::paper_synthetic(16)?;
+//! let tree = fastbuf::netgen::line_net(Microns::new(12_000.0), 11);
+//!
+//! let solution = Solver::new(&tree, &lib).solve();
+//! assert!(!solution.placements.is_empty());
+//! solution.verify(&tree, &lib)?; // independent Elmore cross-check
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for realistic scenarios (clock trees, buses, cost
+//! trade-offs, net files) and `crates/bench` for the harnesses that
+//! regenerate the paper's Table 1 and Figures 3–4.
+
+#![deny(missing_docs)]
+
+pub use fastbuf_buflib as buflib;
+pub use fastbuf_design as design;
+pub use fastbuf_netgen as netgen;
+pub use fastbuf_rctree as rctree;
+
+pub use fastbuf_core::cost;
+pub use fastbuf_core::polarity;
+pub use fastbuf_core::{
+    convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
+    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, Solver, SolverOptions,
+    SolveStats, VerifyError,
+};
+
+/// One-stop imports for applications: solver, library, tree-building and
+/// unit types.
+pub mod prelude {
+    pub use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
+    pub use fastbuf_buflib::{
+        BufferLibrary, BufferSet, BufferType, BufferTypeId, Driver, Technology,
+    };
+    pub use fastbuf_core::cost::CostSolver;
+    pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
+    pub use fastbuf_core::{Algorithm, Solution, Solver};
+    pub use fastbuf_rctree::{
+        NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire,
+    };
+}

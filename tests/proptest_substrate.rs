@@ -1,0 +1,143 @@
+//! Property-based tests of the substrate layers (units, buffer sets,
+//! segmenting, Elmore evaluation) — the pieces every solver stands on.
+
+use proptest::prelude::*;
+
+use fastbuf::buflib::units::{Farads, Microns, Ohms, Seconds};
+use fastbuf::buflib::{BufferSet, BufferTypeId};
+use fastbuf::netgen::RandomNetSpec;
+use fastbuf::prelude::*;
+use fastbuf::rctree::segment::segment_uniform;
+use fastbuf::rctree::{elmore, Wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RC products commute and scale linearly.
+    #[test]
+    fn unit_algebra(r in 0.0f64..1e5, c in 0.0f64..1e-9, k in 1.0f64..100.0) {
+        let rc1 = Ohms::new(r) * Farads::new(c);
+        let rc2 = Farads::new(c) * Ohms::new(r);
+        prop_assert_eq!(rc1, rc2);
+        let scaled = Ohms::new(r * k) * Farads::new(c);
+        prop_assert!((scaled.value() - rc1.value() * k).abs() <= 1e-12 * scaled.value().abs().max(1e-30));
+        // Sub then add is identity.
+        let t = Seconds::new(rc1.value());
+        prop_assert_eq!(t + Seconds::ZERO, t);
+        prop_assert_eq!(t - Seconds::ZERO, t);
+    }
+
+    /// Engineering display round-trips through the magnitude (no panics,
+    /// correct sign).
+    #[test]
+    fn unit_display_never_panics(v in -1e12f64..1e12) {
+        let s = format!("{}", Seconds::new(v));
+        prop_assert!(!s.is_empty());
+        if v < 0.0 {
+            prop_assert!(s.starts_with('-'));
+        }
+    }
+
+    /// BufferSet behaves like a set of indices.
+    #[test]
+    fn bufferset_laws(mut ids in prop::collection::vec(0usize..200, 0..40)) {
+        let universe = 200;
+        let mut set = BufferSet::empty(universe);
+        for &i in &ids {
+            set.insert(BufferTypeId::new(i));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(set.len(), ids.len());
+        let got: Vec<usize> = set.iter().map(|id| id.index()).collect();
+        prop_assert_eq!(&got, &ids);
+        for &i in &ids {
+            prop_assert!(set.contains(BufferTypeId::new(i)));
+            set.remove(BufferTypeId::new(i));
+            prop_assert!(!set.contains(BufferTypeId::new(i)));
+        }
+        prop_assert!(set.is_empty());
+    }
+
+    /// Splitting a wire into k parts preserves total parasitics.
+    #[test]
+    fn wire_split_conserves_parasitics(
+        r in 0.01f64..1e4,
+        c in 1e-18f64..1e-10,
+        pieces in 1usize..40,
+    ) {
+        let w = Wire::new(Ohms::new(r), Farads::new(c));
+        let part = w.split(pieces);
+        let total_r = part.resistance().value() * pieces as f64;
+        let total_c = part.capacitance().value() * pieces as f64;
+        prop_assert!((total_r - r).abs() <= 1e-9 * r);
+        prop_assert!((total_c - c).abs() <= 1e-9 * c);
+    }
+
+    /// In the half-capacitance lumped Elmore model, path delay is *exactly*
+    /// invariant under wire splitting: a segment contributes
+    /// `R_e·(C_e/2 + downstream)`, and splitting conserves both the total
+    /// R·C/2 self-term along a path and every through-term. Segmenting
+    /// therefore changes which *buffered* solutions exist, but never the
+    /// unbuffered slack.
+    #[test]
+    fn segmenting_preserves_unbuffered_elmore_exactly(
+        sinks in 1usize..20,
+        seed in 0u64..300,
+    ) {
+        let base = RandomNetSpec {
+            sinks,
+            seed,
+            site_pitch: None,
+            ..RandomNetSpec::default()
+        }
+        .build();
+        let lib = fastbuf::buflib::BufferLibrary::empty();
+        let reference = elmore::evaluate(&base, &lib, &[]).unwrap().slack.picos();
+        for pieces in [2usize, 4, 8] {
+            let t = segment_uniform(&base, pieces).unwrap().tree;
+            let slack = elmore::evaluate(&t, &lib, &[]).unwrap().slack.picos();
+            prop_assert!(
+                (slack - reference).abs() <= 1e-6 * reference.abs().max(1.0),
+                "pieces={pieces}: slack {slack} != {reference}"
+            );
+        }
+    }
+
+    /// The forward evaluator is a pure function: same inputs, same report.
+    #[test]
+    fn evaluation_is_deterministic(sinks in 1usize..15, seed in 0u64..200) {
+        let tree = RandomNetSpec {
+            sinks,
+            seed,
+            site_pitch: Some(Microns::new(300.0)),
+            ..RandomNetSpec::default()
+        }
+        .build();
+        let lib = BufferLibrary::paper_synthetic(4).unwrap();
+        let sol = Solver::new(&tree, &lib).solve();
+        let a = elmore::evaluate(&tree, &lib, &sol.placement_pairs()).unwrap();
+        let b = elmore::evaluate(&tree, &lib, &sol.placement_pairs()).unwrap();
+        prop_assert_eq!(a.slack, b.slack);
+        prop_assert_eq!(a.root_load, b.root_load);
+        prop_assert_eq!(a.critical_sink, b.critical_sink);
+    }
+
+    /// Net statistics are consistent with each other.
+    #[test]
+    fn tree_stats_self_consistent(sinks in 1usize..25, seed in 0u64..200) {
+        let tree = RandomNetSpec {
+            sinks,
+            seed,
+            ..RandomNetSpec::default()
+        }
+        .build();
+        let stats = tree.stats();
+        prop_assert_eq!(stats.nodes, stats.sinks + stats.internals + 1); // +1 source
+        prop_assert_eq!(stats.edges, stats.nodes - 1);
+        prop_assert!(stats.buffer_sites <= stats.internals);
+        prop_assert!(stats.max_depth < stats.nodes);
+        prop_assert_eq!(stats.sinks, tree.sinks().count());
+        prop_assert_eq!(stats.buffer_sites, tree.buffer_sites().count());
+    }
+}
