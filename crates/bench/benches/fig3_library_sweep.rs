@@ -18,21 +18,17 @@ fn bench_library_sweep(c: &mut Criterion) {
     for b in [8usize, 16, 32, 64] {
         let lib = BufferLibrary::paper_synthetic(b).unwrap();
         for algo in [Algorithm::Lillis, Algorithm::LiShi] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), b),
-                &b,
-                |bench, _| {
-                    bench.iter(|| {
-                        black_box(
-                            Solver::new(black_box(&tree), black_box(&lib))
-                                .algorithm(algo)
-                                .track_predecessors(false)
-                                .solve()
-                                .slack,
-                        )
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), b), &b, |bench, _| {
+                bench.iter(|| {
+                    black_box(
+                        Solver::new(black_box(&tree), black_box(&lib))
+                            .algorithm(algo)
+                            .track_predecessors(false)
+                            .solve()
+                            .slack,
+                    )
+                })
+            });
         }
     }
     g.finish();

@@ -18,21 +18,17 @@ fn bench_position_sweep(c: &mut Criterion) {
     for n in [500usize, 1000, 2000, 4000] {
         let tree = paper_net(150, Some(n));
         for algo in [Algorithm::Lillis, Algorithm::LiShi] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &n,
-                |bench, _| {
-                    bench.iter(|| {
-                        black_box(
-                            Solver::new(black_box(&tree), black_box(&lib))
-                                .algorithm(algo)
-                                .track_predecessors(false)
-                                .solve()
-                                .slack,
-                        )
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |bench, _| {
+                bench.iter(|| {
+                    black_box(
+                        Solver::new(black_box(&tree), black_box(&lib))
+                            .algorithm(algo)
+                            .track_predecessors(false)
+                            .solve()
+                            .slack,
+                    )
+                })
+            });
         }
     }
     g.finish();

@@ -64,5 +64,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nLillis' AddBuffer work scales ~b; Li-Shi's is nearly flat in b (O(k+b) vs O(k*b)).");
+    println!(
+        "\nLillis' AddBuffer work scales ~b; Li-Shi's is nearly flat in b (O(k+b) vs O(k*b))."
+    );
 }

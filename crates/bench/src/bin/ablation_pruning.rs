@@ -18,7 +18,10 @@ use fastbuf_netgen::RandomNetSpec;
 fn main() {
     let opts = HarnessOptions::from_args();
     let lib = BufferLibrary::paper_synthetic(32).expect("b > 0");
-    println!("# Permanent vs scratch convex pruning (b = 32, scale {})\n", opts.scale);
+    println!(
+        "# Permanent vs scratch convex pruning (b = 32, scale {})\n",
+        opts.scale
+    );
 
     let mut rows = Vec::new();
     let mut nets = 0usize;

@@ -53,5 +53,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: Lillis rises to ~11x by b = 64; Li-Shi stays flat (~2x), much smaller slope");
+    println!(
+        "\npaper: Lillis rises to ~11x by b = 64; Li-Shi stays flat (~2x), much smaller slope"
+    );
 }

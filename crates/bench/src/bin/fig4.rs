@@ -18,7 +18,10 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let m = opts.sinks(1944);
     let lib = BufferLibrary::paper_synthetic(32).expect("b > 0");
-    println!("# Figure 4 reproduction: m = {m}, b = 32 (scale {})\n", opts.scale);
+    println!(
+        "# Figure 4 reproduction: m = {m}, b = 32 (scale {})\n",
+        opts.scale
+    );
 
     // The paper sweeps 1943 .. ~66k positions on the fixed net.
     let paper_sweep = [1943usize, 4000, 8000, 16_000, 33_133, 66_000];
@@ -40,13 +43,7 @@ fn main() {
         ]);
     }
     print_table(
-        &[
-            "n",
-            "Lillis",
-            "Lillis (norm)",
-            "Li-Shi",
-            "Li-Shi (norm)",
-        ],
+        &["n", "Lillis", "Lillis (norm)", "Li-Shi", "Li-Shi (norm)"],
         &rows,
     );
     println!("\npaper: both curves superlinear in n; Li-Shi grows much more slowly than Lillis");

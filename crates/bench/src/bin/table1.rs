@@ -41,7 +41,11 @@ fn main() {
                 fmt_duration(t_lillis),
                 fmt_duration(t_lishi),
                 format!("{speedup:.2}x"),
-                if slack_match { "yes".into() } else { "NO!".into() },
+                if slack_match {
+                    "yes".into()
+                } else {
+                    "NO!".into()
+                },
             ]);
         }
     }

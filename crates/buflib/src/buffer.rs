@@ -270,7 +270,9 @@ mod tests {
 
     #[test]
     fn builder_style_setters() {
-        let b = buf().with_cost(3.5).with_max_load(Farads::from_femto(200.0));
+        let b = buf()
+            .with_cost(3.5)
+            .with_max_load(Farads::from_femto(200.0));
         assert_eq!(b.cost(), 3.5);
         assert_eq!(b.max_load(), Some(Farads::from_femto(200.0)));
     }

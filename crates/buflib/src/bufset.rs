@@ -130,7 +130,9 @@ impl FromIterator<BufferTypeId> for BufferSet {
 
 impl fmt::Debug for BufferSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|id| id.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|id| id.index()))
+            .finish()
     }
 }
 

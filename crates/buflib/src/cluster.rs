@@ -84,8 +84,14 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
         let next = (0..n)
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| dist(a, m)).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| dist(b, m)).fold(f64::INFINITY, f64::min);
+                let da = medoids
+                    .iter()
+                    .map(|&m| dist(a, m))
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| dist(b, m))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap().then(b.cmp(&a))
             })
             .expect("fewer medoids than points");
@@ -96,7 +102,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
     let mut assignment = vec![0usize; n];
     for _ in 0..32 {
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let best = (0..k)
                 .min_by(|&a, &b| {
                     dist(i, medoids[a])
@@ -105,8 +111,8 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
                         .then(a.cmp(&b))
                 })
                 .unwrap();
-            if assignment[i] != best {
-                assignment[i] = best;
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
@@ -155,9 +161,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
         *slot = medoids
             .iter()
             .enumerate()
-            .min_by(|(_, &ma), (_, &mb)| {
-                dist(i, ma).partial_cmp(&dist(i, mb)).unwrap()
-            })
+            .min_by(|(_, &ma), (_, &mb)| dist(i, ma).partial_cmp(&dist(i, mb)).unwrap())
             .map(|(pos, _)| pos)
             .unwrap();
         // Medoids always belong to their own cluster.
@@ -166,7 +170,8 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
         }
     }
 
-    let representatives: Vec<BufferTypeId> = medoids.iter().map(|&m| BufferTypeId::new(m)).collect();
+    let representatives: Vec<BufferTypeId> =
+        medoids.iter().map(|&m| BufferTypeId::new(m)).collect();
     let library = lib.subset(&representatives)?;
     Ok(ClusterResult {
         library,
@@ -191,7 +196,11 @@ fn standardized_features(lib: &BufferLibrary) -> Vec<[f64; 3]> {
         .collect();
     for d in 0..3 {
         let mean = feats.iter().map(|f| f[d]).sum::<f64>() / n as f64;
-        let var = feats.iter().map(|f| (f[d] - mean) * (f[d] - mean)).sum::<f64>() / n as f64;
+        let var = feats
+            .iter()
+            .map(|f| (f[d] - mean) * (f[d] - mean))
+            .sum::<f64>()
+            / n as f64;
         let sd = var.sqrt().max(1e-12);
         for f in &mut feats {
             f[d] = (f[d] - mean) / sd;
@@ -266,7 +275,10 @@ mod tests {
         // Sorted non-increasing, spanning most of the original range.
         assert!(rs.windows(2).all(|w| w[0] >= w[1]));
         assert!(rs[0] > 3000.0, "weak end represented: {rs:?}");
-        assert!(*rs.last().unwrap() < 400.0, "strong end represented: {rs:?}");
+        assert!(
+            *rs.last().unwrap() < 400.0,
+            "strong end represented: {rs:?}"
+        );
     }
 
     #[test]

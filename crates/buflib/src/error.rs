@@ -73,7 +73,10 @@ impl fmt::Display for LibraryError {
             LibraryError::DuplicateName { name } => {
                 write!(f, "buffer name `{name}` appears more than once")
             }
-            LibraryError::InvalidClusterCount { requested, available } => {
+            LibraryError::InvalidClusterCount {
+                requested,
+                available,
+            } => {
                 write!(
                     f,
                     "cannot cluster {available} buffer types into {requested} clusters"

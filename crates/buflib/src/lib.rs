@@ -50,10 +50,10 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-pub mod cluster;
-mod error;
 mod buffer;
 mod bufset;
+pub mod cluster;
+mod error;
 mod library;
 mod tech;
 pub mod units;

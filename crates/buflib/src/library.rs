@@ -281,8 +281,9 @@ impl BufferLibrary {
     /// Serializes the library to the plain-text exchange format: one
     /// `name r_ohms c_ff k_ps cost [max_load_ff] [inv]` line per buffer.
     pub fn to_text(&self) -> String {
-        let mut out =
-            String::from("# fastbuf buffer library: name r_ohms c_ff k_ps cost [max_load_ff] [inv]\n");
+        let mut out = String::from(
+            "# fastbuf buffer library: name r_ohms c_ff k_ps cost [max_load_ff] [inv]\n",
+        );
         for b in &self.buffers {
             out.push_str(&format!(
                 "{} {} {} {} {}",
@@ -319,7 +320,9 @@ impl BufferLibrary {
                 continue;
             }
             let mut it = line.split_whitespace();
-            let name = it.next().ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+            let name = it
+                .next()
+                .ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
             let mut field = |what: &str| -> Result<f64, String> {
                 it.next()
                     .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
@@ -425,7 +428,11 @@ impl SyntheticLibrarySpec {
         let mut rng = SplitMix64::new(self.seed);
         let mut buffers = Vec::with_capacity(b);
         for i in 0..b {
-            let t = if b == 1 { 1.0 } else { i as f64 / (b - 1) as f64 };
+            let t = if b == 1 {
+                1.0
+            } else {
+                i as f64 / (b - 1) as f64
+            };
             // Geometric interpolation for R (descending) and C (ascending).
             let r = geo(self.resistance_max.value(), self.resistance_min.value(), t);
             let c = geo(self.cap_min.value(), self.cap_max.value(), t);
@@ -583,7 +590,10 @@ mod tests {
         ));
         assert!(matches!(
             mk(f64::INFINITY, 1e-15, 0.0),
-            Err(LibraryError::NonFiniteParameter { field: "resistance", .. })
+            Err(LibraryError::NonFiniteParameter {
+                field: "resistance",
+                ..
+            })
         ));
     }
 
@@ -609,7 +619,9 @@ mod tests {
         assert_eq!(id.index(), 3);
         assert!(lib.find("nope").is_none());
 
-        let sub = lib.subset(&[BufferTypeId::new(0), BufferTypeId::new(7)]).unwrap();
+        let sub = lib
+            .subset(&[BufferTypeId::new(0), BufferTypeId::new(7)])
+            .unwrap();
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.get(BufferTypeId::new(1)).name(), "buf7");
         assert!(sub.subset(&[]).is_err());
@@ -647,11 +659,17 @@ mod tests {
 
     #[test]
     fn from_text_reports_bad_lines() {
-        assert!(BufferLibrary::from_text("b1 nan_is_fine_but_words_arent 1 1 1")
+        assert!(
+            BufferLibrary::from_text("b1 nan_is_fine_but_words_arent 1 1 1")
+                .unwrap_err()
+                .contains("line 1")
+        );
+        assert!(BufferLibrary::from_text("onlyname")
             .unwrap_err()
-            .contains("line 1"));
-        assert!(BufferLibrary::from_text("onlyname").unwrap_err().contains("missing"));
-        assert!(BufferLibrary::from_text("# empty\n\n").unwrap_err().contains("empty"));
+            .contains("missing"));
+        assert!(BufferLibrary::from_text("# empty\n\n")
+            .unwrap_err()
+            .contains("empty"));
     }
 
     #[test]

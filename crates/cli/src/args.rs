@@ -33,7 +33,11 @@ impl Flags {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag `--{name}` needs a value"))?;
-                if flags.values.insert(name.to_owned(), value.clone()).is_some() {
+                if flags
+                    .values
+                    .insert(name.to_owned(), value.clone())
+                    .is_some()
+                {
                     return Err(format!("flag `--{name}` given twice"));
                 }
             } else if switch_flags.contains(&name) {
@@ -108,9 +112,7 @@ mod tests {
     fn rejects_unknown_missing_and_duplicates() {
         assert!(Flags::parse(&argv(&["--nope"]), &[], &[]).is_err());
         assert!(Flags::parse(&argv(&["--sinks"]), &["sinks"], &[]).is_err());
-        assert!(
-            Flags::parse(&argv(&["--sinks", "1", "--sinks", "2"]), &["sinks"], &[]).is_err()
-        );
+        assert!(Flags::parse(&argv(&["--sinks", "1", "--sinks", "2"]), &["sinks"], &[]).is_err());
         assert!(Flags::parse(&argv(&["stray"]), &[], &[]).is_err());
     }
 

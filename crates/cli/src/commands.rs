@@ -64,7 +64,9 @@ fn load_lib(flags: &Flags) -> Result<BufferLibrary, String> {
 fn gen_net(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         argv,
-        &["kind", "sinks", "sites", "seed", "pitch", "length", "levels", "o"],
+        &[
+            "kind", "sinks", "sites", "seed", "pitch", "length", "levels", "o",
+        ],
         &[],
     )?;
     let kind = flags.value("kind").unwrap_or("random");
@@ -128,8 +130,8 @@ fn info(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv, &["net"], &[])?;
     let tree = load_net(&flags)?;
     println!("{}", tree.stats());
-    let report = elmore::evaluate(&tree, &BufferLibrary::empty(), &[])
-        .map_err(|e| e.to_string())?;
+    let report =
+        elmore::evaluate(&tree, &BufferLibrary::empty(), &[]).map_err(|e| e.to_string())?;
     println!(
         "unbuffered slack: {} (critical sink {})",
         report.slack, report.critical_sink
@@ -231,8 +233,16 @@ mod tests {
         let lib = dir.join("t.lib");
 
         let argv: Vec<String> = [
-            "gen", "net", "--kind", "line", "--length", "8000", "--sites", "7",
-            "-o", net.to_str().unwrap(),
+            "gen",
+            "net",
+            "--kind",
+            "line",
+            "--length",
+            "8000",
+            "--sites",
+            "7",
+            "-o",
+            net.to_str().unwrap(),
         ]
         .iter()
         .map(|s| s.to_string())
@@ -246,8 +256,13 @@ mod tests {
         run(&argv).unwrap();
 
         let argv: Vec<String> = [
-            "solve", "--net", net.to_str().unwrap(), "--lib", lib.to_str().unwrap(),
-            "--placements", "--stats",
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--placements",
+            "--stats",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -255,8 +270,13 @@ mod tests {
         run(&argv).unwrap();
 
         let argv: Vec<String> = [
-            "frontier", "--net", net.to_str().unwrap(), "--lib", lib.to_str().unwrap(),
-            "--max-cost", "40",
+            "frontier",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--max-cost",
+            "40",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -312,24 +332,36 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let lib = dir.join("j.lib");
         let argv: Vec<String> = [
-            "gen", "lib", "--size", "6", "--jitter", "11", "-o", lib.to_str().unwrap(),
+            "gen",
+            "lib",
+            "--size",
+            "6",
+            "--jitter",
+            "11",
+            "-o",
+            lib.to_str().unwrap(),
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         run(&argv).unwrap();
-        let parsed =
-            BufferLibrary::from_text(&fs::read_to_string(&lib).unwrap()).unwrap();
+        let parsed = BufferLibrary::from_text(&fs::read_to_string(&lib).unwrap()).unwrap();
         assert_eq!(parsed.len(), 6);
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn solve_reports_missing_files() {
-        let argv: Vec<String> = ["solve", "--net", "/nonexistent.net", "--lib", "/nonexistent.lib"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let argv: Vec<String> = [
+            "solve",
+            "--net",
+            "/nonexistent.net",
+            "--lib",
+            "/nonexistent.lib",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let err = run(&argv).unwrap_err();
         assert!(err.contains("cannot read"));
     }

@@ -134,7 +134,9 @@ pub(crate) fn add_buffers(
     scratch: &mut Scratch,
     stats: &mut SolveStats,
 ) {
-    if !find_betas(algo, list, lib, constraint, node, arena, track, scratch, stats) {
+    if !find_betas(
+        algo, list, lib, constraint, node, arena, track, scratch, stats,
+    ) {
         return;
     }
     // Emit the β_i in non-decreasing input-capacitance order (precomputed
@@ -293,8 +295,7 @@ fn find_alphas_walk(
             }
             &cands[hull[ptr] as usize]
         };
-        scratch.beta_slots[id.index()] =
-            Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
+        scratch.beta_slots[id.index()] = Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
     }
 }
 
@@ -422,7 +423,9 @@ mod tests {
     fn walk_and_scan_agree_on_random_lists() {
         let mut state = 7u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for round in 0..100 {
@@ -594,7 +597,9 @@ mod tests {
     fn lemma1_best_candidates_monotone_in_c() {
         let mut state = 99u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..50 {

@@ -49,7 +49,10 @@ impl Candidate {
 #[inline]
 pub(crate) fn push_pruned_c_order(out: &mut Vec<Candidate>, cand: Candidate) {
     if let Some(top) = out.last_mut() {
-        debug_assert!(cand.c >= top.c, "push_pruned_c_order requires c-sorted input");
+        debug_assert!(
+            cand.c >= top.c,
+            "push_pruned_c_order requires c-sorted input"
+        );
         if cand.q <= top.q {
             return; // dominated: no better slack at no smaller load
         }
@@ -352,11 +355,8 @@ mod tests {
 
     #[test]
     fn merge_insert_dominating_beta_sweeps_list() {
-        let mut l = CandidateList::from_candidates(vec![
-            cand(1.0, 2.0),
-            cand(2.0, 3.0),
-            cand(3.0, 4.0),
-        ]);
+        let mut l =
+            CandidateList::from_candidates(vec![cand(1.0, 2.0), cand(2.0, 3.0), cand(3.0, 4.0)]);
         l.merge_insert(&[cand(10.0, 1.0)]); // dominates everything
         assert_eq!(l.as_slice(), &[cand(10.0, 1.0)]);
     }
@@ -371,11 +371,8 @@ mod tests {
 
     #[test]
     fn best_driven_maximizes_q_minus_rc() {
-        let l = CandidateList::from_candidates(vec![
-            cand(1.0, 1.0),
-            cand(4.0, 2.0),
-            cand(6.0, 5.0),
-        ]);
+        let l =
+            CandidateList::from_candidates(vec![cand(1.0, 1.0), cand(4.0, 2.0), cand(6.0, 5.0)]);
         // r = 1: values 0, 2, 1 -> (4,2).
         let b = l.best_driven(1.0, 0.0).unwrap();
         assert_eq!((b.q, b.c), (4.0, 2.0));

@@ -76,7 +76,10 @@ impl fmt::Display for CostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CostError::NonIntegerCost { buffer } => {
-                write!(f, "buffer `{buffer}` has a non-integer cost; the cost DP needs integer levels")
+                write!(
+                    f,
+                    "buffer `{buffer}` has a non-integer cost; the cost DP needs integer levels"
+                )
             }
         }
     }
@@ -219,13 +222,13 @@ impl<'a> CostSolver<'a> {
                         // Snapshot betas from every level first, then insert,
                         // so a single node never hosts two buffers.
                         let mut pending: Vec<Vec<Candidate>> = vec![Vec::new(); w_max + 1];
-                        for w in 0..=w_max {
-                            if lv[w].is_empty() {
+                        for (w, level) in lv.iter_mut().enumerate() {
+                            if level.is_empty() {
                                 continue;
                             }
                             if !find_betas(
                                 self.algorithm,
-                                &mut lv[w],
+                                level,
                                 lib,
                                 tree.site_constraint(node),
                                 node,
@@ -423,11 +426,7 @@ mod tests {
                 p.slack,
                 report.slack
             );
-            let spent: f64 = p
-                .placements
-                .iter()
-                .map(|x| lib.get(x.buffer).cost())
-                .sum();
+            let spent: f64 = p.placements.iter().map(|x| lib.get(x.buffer).cost()).sum();
             assert_eq!(spent as u32, p.cost, "cost bookkeeping at {}", p.cost);
         }
     }
@@ -492,12 +491,18 @@ mod tests {
         let s2 = b.buffer_site();
         let k1 = b.sink(Farads::from_femto(10.0), Seconds::from_pico(800.0));
         let k2 = b.sink(Farads::from_femto(25.0), Seconds::from_pico(1200.0));
-        b.connect(src, s0, Wire::from_length(&tech, Microns::new(2000.0))).unwrap();
-        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(500.0))).unwrap();
-        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(1500.0))).unwrap();
-        b.connect(s1, k1, Wire::from_length(&tech, Microns::new(500.0))).unwrap();
-        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(3000.0))).unwrap();
-        b.connect(s2, k2, Wire::from_length(&tech, Microns::new(800.0))).unwrap();
+        b.connect(src, s0, Wire::from_length(&tech, Microns::new(2000.0)))
+            .unwrap();
+        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(500.0)))
+            .unwrap();
+        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(1500.0)))
+            .unwrap();
+        b.connect(s1, k1, Wire::from_length(&tech, Microns::new(500.0)))
+            .unwrap();
+        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(3000.0)))
+            .unwrap();
+        b.connect(s2, k2, Wire::from_length(&tech, Microns::new(800.0)))
+            .unwrap();
         let tree = b.build().unwrap();
 
         let frontier = CostSolver::new(&tree, &lib).max_cost(150).solve().unwrap();

@@ -192,7 +192,10 @@ impl<'a> Solver<'a> {
         stats.root_list_len = root_list.len();
         let driver = tree.driver();
         let best = root_list
-            .best_driven(driver.resistance().value(), driver.intrinsic_delay().value())
+            .best_driven(
+                driver.resistance().value(),
+                driver.intrinsic_delay().value(),
+            )
             .expect("candidate lists are never empty");
 
         let placements = if track {
@@ -209,8 +212,7 @@ impl<'a> Solver<'a> {
 
         Solution {
             slack: Seconds::new(
-                best.q - driver.intrinsic_delay().value()
-                    - driver.resistance().value() * best.c,
+                best.q - driver.intrinsic_delay().value() - driver.resistance().value() * best.c,
             ),
             root_q: Seconds::new(best.q),
             root_load: Farads::new(best.c),
@@ -276,11 +278,7 @@ mod tests {
         let lib = paper_lib(8);
         for algo in Algorithm::ALL {
             let sol = Solver::new(&tree, &lib).algorithm(algo).solve();
-            let placements: Vec<_> = sol
-                .placements
-                .iter()
-                .map(|p| (p.node, p.buffer))
-                .collect();
+            let placements: Vec<_> = sol.placements.iter().map(|p| (p.node, p.buffer)).collect();
             let eval = elmore::evaluate(&tree, &lib, &placements).unwrap();
             assert!(
                 (sol.slack.picos() - eval.slack.picos()).abs() < 1e-6,
@@ -302,10 +300,7 @@ mod tests {
                 .collect();
             // Permanent pruning is exact on 2-pin nets.
             for s in &slacks {
-                assert!(
-                    (s - slacks[0]).abs() < 1e-6,
-                    "sites={sites}: {slacks:?}"
-                );
+                assert!((s - slacks[0]).abs() < 1e-6, "sites={sites}: {slacks:?}");
             }
         }
     }
@@ -335,15 +330,23 @@ mod tests {
         let s3 = b.buffer_site();
         let k1 = b.sink(Farads::from_femto(12.0), Seconds::from_pico(600.0));
         let k2 = b.sink(Farads::from_femto(30.0), Seconds::from_pico(900.0));
-        b.connect(src, s1, Wire::from_length(&tech, Microns::new(1200.0))).unwrap();
-        b.connect(s1, tee, Wire::from_length(&tech, Microns::new(800.0))).unwrap();
-        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(1500.0))).unwrap();
-        b.connect(s2, k1, Wire::from_length(&tech, Microns::new(500.0))).unwrap();
-        b.connect(tee, s3, Wire::from_length(&tech, Microns::new(2500.0))).unwrap();
-        b.connect(s3, k2, Wire::from_length(&tech, Microns::new(700.0))).unwrap();
+        b.connect(src, s1, Wire::from_length(&tech, Microns::new(1200.0)))
+            .unwrap();
+        b.connect(s1, tee, Wire::from_length(&tech, Microns::new(800.0)))
+            .unwrap();
+        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(1500.0)))
+            .unwrap();
+        b.connect(s2, k1, Wire::from_length(&tech, Microns::new(500.0)))
+            .unwrap();
+        b.connect(tee, s3, Wire::from_length(&tech, Microns::new(2500.0)))
+            .unwrap();
+        b.connect(s3, k2, Wire::from_length(&tech, Microns::new(700.0)))
+            .unwrap();
         let tree = b.build().unwrap();
 
-        let a = Solver::new(&tree, &lib).algorithm(Algorithm::Lillis).solve();
+        let a = Solver::new(&tree, &lib)
+            .algorithm(Algorithm::Lillis)
+            .solve();
         let c = Solver::new(&tree, &lib).algorithm(Algorithm::LiShi).solve();
         assert!((a.slack.picos() - c.slack.picos()).abs() < 1e-6);
         // Verify both against the forward evaluator.
@@ -370,7 +373,9 @@ mod tests {
         assert!(s.root_list_len > 0);
         assert!(s.betas_generated > 0);
 
-        let lillis = Solver::new(&tree, &lib).algorithm(Algorithm::Lillis).solve();
+        let lillis = Solver::new(&tree, &lib)
+            .algorithm(Algorithm::Lillis)
+            .solve();
         assert!(lillis.stats.scan_candidate_visits > 0);
         assert_eq!(lillis.stats.hull_builds, 0);
     }
@@ -409,9 +414,12 @@ mod tests {
         let a1 = b.buffer_site();
         let k1 = b.sink(Farads::from_femto(15.0), Seconds::from_pico(700.0));
         let k2 = b.sink(Farads::from_femto(9.0), Seconds::from_pico(650.0));
-        b.connect(src, a1, Wire::from_length(&tech, Microns::new(3000.0))).unwrap();
-        b.connect(a1, k1, Wire::from_length(&tech, Microns::new(2000.0))).unwrap();
-        b.connect(a1, k2, Wire::from_length(&tech, Microns::new(1000.0))).unwrap();
+        b.connect(src, a1, Wire::from_length(&tech, Microns::new(3000.0)))
+            .unwrap();
+        b.connect(a1, k1, Wire::from_length(&tech, Microns::new(2000.0)))
+            .unwrap();
+        b.connect(a1, k2, Wire::from_length(&tech, Microns::new(1000.0)))
+            .unwrap();
         let tree = b.build().unwrap();
         let slacks: Vec<f64> = Algorithm::ALL
             .iter()

@@ -194,7 +194,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut state = 0x12345678u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..60 {

@@ -106,7 +106,10 @@ impl fmt::Display for PolarityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PolarityError::Infeasible => {
-                write!(f, "no buffer assignment satisfies the polarity requirements")
+                write!(
+                    f,
+                    "no buffer assignment satisfies the polarity requirements"
+                )
             }
             PolarityError::NotASink(n) => write!(f, "{n} is not a sink"),
             PolarityError::WrongPolarity(n) => {
@@ -402,7 +405,10 @@ impl<'a> PolaritySolver<'a> {
             driver.resistance().value(),
             driver.intrinsic_delay().value(),
         );
-        let best = root.pos.best_driven(dr, dk).ok_or(PolarityError::Infeasible)?;
+        let best = root
+            .pos
+            .best_driven(dr, dk)
+            .ok_or(PolarityError::Infeasible)?;
 
         let placements: Vec<Placement> = arena
             .collect_placements(best.pred)
@@ -623,12 +629,18 @@ mod tests {
         let s2 = b.buffer_site();
         let k_pos = b.sink(Farads::from_femto(10.0), Seconds::from_pico(900.0));
         let k_neg = b.sink(Farads::from_femto(12.0), Seconds::from_pico(950.0));
-        b.connect(src, s0, Wire::from_length(&tech, Microns::new(1500.0))).unwrap();
-        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(600.0))).unwrap();
-        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(1800.0))).unwrap();
-        b.connect(s1, k_pos, Wire::from_length(&tech, Microns::new(300.0))).unwrap();
-        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(2200.0))).unwrap();
-        b.connect(s2, k_neg, Wire::from_length(&tech, Microns::new(300.0))).unwrap();
+        b.connect(src, s0, Wire::from_length(&tech, Microns::new(1500.0)))
+            .unwrap();
+        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(600.0)))
+            .unwrap();
+        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(1800.0)))
+            .unwrap();
+        b.connect(s1, k_pos, Wire::from_length(&tech, Microns::new(300.0)))
+            .unwrap();
+        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(2200.0)))
+            .unwrap();
+        b.connect(s2, k_neg, Wire::from_length(&tech, Microns::new(300.0)))
+            .unwrap();
         let tree = b.build().unwrap();
 
         let mut solver = PolaritySolver::new(&tree, &lib);

@@ -71,7 +71,11 @@ impl Solution {
     /// illegal for `tree` (should be impossible); and
     /// [`VerifyError::SlackMismatch`] if prediction and measurement differ
     /// beyond the tolerance — i.e. a solver bug.
-    pub fn verify(&self, tree: &RoutingTree, library: &BufferLibrary) -> Result<Seconds, VerifyError> {
+    pub fn verify(
+        &self,
+        tree: &RoutingTree,
+        library: &BufferLibrary,
+    ) -> Result<Seconds, VerifyError> {
         if !self.tracked {
             return Err(VerifyError::NotTracked);
         }

@@ -59,7 +59,11 @@ impl HTreeSpec {
         let base = b.build().expect("H-tree is structurally valid");
         match self.site_pitch {
             None => base,
-            Some(pitch) => segment_by_pitch(&base, pitch).expect("lengths present").tree,
+            Some(pitch) => {
+                segment_by_pitch(&base, pitch)
+                    .expect("lengths present")
+                    .tree
+            }
         }
     }
 

@@ -153,9 +153,8 @@ impl RandomNetSpec {
                 Wire::from_length(&self.tech, Microns::new(dist.max(1.0))),
             )
             .expect("fresh tap");
-            let cap = Farads::new(
-                rng.gen_range(self.sink_cap_min.value()..=self.sink_cap_max.value()),
-            );
+            let cap =
+                Farads::new(rng.gen_range(self.sink_cap_min.value()..=self.sink_cap_max.value()));
             let rat = match self.rat {
                 RatPolicy::Constant(r) => r,
                 RatPolicy::Range { min, max } => {

@@ -103,7 +103,9 @@ pub fn evaluate(
                 .children(node)
                 .iter()
                 .map(|&c| {
-                    tree.wire_to_parent(c).expect("child has a wire").capacitance()
+                    tree.wire_to_parent(c)
+                        .expect("child has a wire")
+                        .capacitance()
                         + visible[c.index()]
                 })
                 .sum(),
@@ -173,7 +175,9 @@ pub fn downstream_capacitance(tree: &RoutingTree) -> Vec<Farads> {
                 .children(node)
                 .iter()
                 .map(|&c| {
-                    tree.wire_to_parent(c).expect("child has a wire").capacitance()
+                    tree.wire_to_parent(c)
+                        .expect("child has a wire")
+                        .capacitance()
                         + down[c.index()]
                 })
                 .sum(),
@@ -206,8 +210,12 @@ mod tests {
         let mut b = TreeBuilder::new();
         let src = b.source(Driver::new(Ohms::new(200.0)));
         let s = b.sink(Farads::from_femto(5.0), Seconds::from_pico(100.0));
-        b.connect(src, s, Wire::new(Ohms::new(100.0), Farads::from_femto(10.0)))
-            .unwrap();
+        b.connect(
+            src,
+            s,
+            Wire::new(Ohms::new(100.0), Farads::from_femto(10.0)),
+        )
+        .unwrap();
         let tree = b.build().unwrap();
         let r = evaluate(&tree, &BufferLibrary::empty(), &[]).unwrap();
         // Root load = 10 + 5 = 15 fF; driver delay = 200Ω·15fF = 3 ps.
@@ -258,13 +266,25 @@ mod tests {
             let site = b.buffer_site();
             let fast = b.sink(Farads::from_femto(2.0), Seconds::from_pico(50.0));
             let slow = b.sink(Farads::from_femto(100.0), Seconds::from_pico(5000.0));
-            b.connect(src, tee, Wire::new(Ohms::new(50.0), Farads::from_femto(4.0)))
-                .unwrap();
-            b.connect(tee, fast, Wire::new(Ohms::new(50.0), Farads::from_femto(4.0)))
-                .unwrap();
+            b.connect(
+                src,
+                tee,
+                Wire::new(Ohms::new(50.0), Farads::from_femto(4.0)),
+            )
+            .unwrap();
+            b.connect(
+                tee,
+                fast,
+                Wire::new(Ohms::new(50.0), Farads::from_femto(4.0)),
+            )
+            .unwrap();
             b.connect(tee, site, Wire::zero()).unwrap();
-            b.connect(site, slow, Wire::new(Ohms::new(800.0), Farads::from_femto(80.0)))
-                .unwrap();
+            b.connect(
+                site,
+                slow,
+                Wire::new(Ohms::new(800.0), Farads::from_femto(80.0)),
+            )
+            .unwrap();
             let tree = b.build().unwrap();
             let placements: &[(NodeId, BufferTypeId)] = if with_site_buffered {
                 &[(site, BufferTypeId::new(0))]
@@ -376,8 +396,12 @@ mod tests {
         let tee = b.internal();
         let s1 = b.sink(Farads::from_femto(1.0), Seconds::from_pico(10.0));
         let s2 = b.sink(Farads::from_femto(1.0), Seconds::from_pico(500.0));
-        b.connect(src, tee, Wire::new(Ohms::new(10.0), Farads::from_femto(2.0)))
-            .unwrap();
+        b.connect(
+            src,
+            tee,
+            Wire::new(Ohms::new(10.0), Farads::from_femto(2.0)),
+        )
+        .unwrap();
         b.connect(tee, s1, Wire::zero()).unwrap();
         b.connect(tee, s2, Wire::zero()).unwrap();
         let tree = b.build().unwrap();

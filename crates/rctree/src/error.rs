@@ -97,7 +97,10 @@ impl fmt::Display for TreeError {
                 write!(f, "node {node} is not reachable from the source")
             }
             TreeError::InternalLeaf { node } => {
-                write!(f, "internal node {node} has no children; leaves must be sinks")
+                write!(
+                    f,
+                    "internal node {node} has no children; leaves must be sinks"
+                )
             }
             TreeError::SinkWithChildren { node } => {
                 write!(f, "sink {node} has children; sinks must be leaves")
@@ -106,7 +109,10 @@ impl fmt::Display for TreeError {
                 write!(f, "wire into {child} has negative or non-finite parasitics")
             }
             TreeError::InvalidSink { node } => {
-                write!(f, "sink {node} has invalid capacitance or required arrival time")
+                write!(
+                    f,
+                    "sink {node} has invalid capacitance or required arrival time"
+                )
             }
             TreeError::SiteOnNonInternal { node } => {
                 write!(f, "buffer-site constraint on non-internal node {node}")
@@ -115,7 +121,10 @@ impl fmt::Display for TreeError {
                 write!(f, "wire into {child} has no geometric length")
             }
             TreeError::IllegalAssignment { node } => {
-                write!(f, "buffer assignment at {node} violates the site constraint")
+                write!(
+                    f,
+                    "buffer assignment at {node} violates the site constraint"
+                )
             }
         }
     }
@@ -129,7 +138,9 @@ mod tests {
 
     #[test]
     fn display_mentions_node() {
-        let e = TreeError::Unreachable { node: NodeId::new(3) };
+        let e = TreeError::Unreachable {
+            node: NodeId::new(3),
+        };
         assert!(e.to_string().contains("n3"));
     }
 

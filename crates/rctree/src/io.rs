@@ -204,7 +204,9 @@ pub fn parse(text: &str) -> Result<RoutingTree, NetParseError> {
                             .next()
                             .ok_or_else(|| NetParseError::new(lineno, "missing resistance"))?
                             .parse::<f64>()
-                            .map_err(|e| NetParseError::new(lineno, format!("bad resistance: {e}")))?;
+                            .map_err(|e| {
+                                NetParseError::new(lineno, format!("bad resistance: {e}"))
+                            })?;
                         let mut driver = Driver::new(Ohms::new(r));
                         if let Some(k) = tok.next() {
                             let k: f64 = k.parse().map_err(|e| {
@@ -219,7 +221,9 @@ pub fn parse(text: &str) -> Result<RoutingTree, NetParseError> {
                             .next()
                             .ok_or_else(|| NetParseError::new(lineno, "missing capacitance"))?
                             .parse::<f64>()
-                            .map_err(|e| NetParseError::new(lineno, format!("bad capacitance: {e}")))?;
+                            .map_err(|e| {
+                                NetParseError::new(lineno, format!("bad capacitance: {e}"))
+                            })?;
                         let rat = tok
                             .next()
                             .ok_or_else(|| NetParseError::new(lineno, "missing rat"))?
@@ -333,7 +337,8 @@ mod tests {
     fn sample() -> RoutingTree {
         let tech = Technology::tsmc180_like();
         let mut b = TreeBuilder::new();
-        let src = b.source(Driver::new(Ohms::new(180.0)).with_intrinsic_delay(Seconds::from_pico(3.0)));
+        let src =
+            b.source(Driver::new(Ohms::new(180.0)).with_intrinsic_delay(Seconds::from_pico(3.0)));
         let tee = b.internal();
         let site = b.buffer_site();
         let mut allowed = BufferSet::empty(4);
@@ -344,14 +349,26 @@ mod tests {
         let s2 = b.sink(Farads::from_femto(7.5), Seconds::from_pico(430.0));
         b.connect(src, tee, Wire::from_length(&tech, Microns::new(100.0)))
             .unwrap();
-        b.connect(tee, site, Wire::new(Ohms::new(3.8), Farads::from_femto(5.9)))
-            .unwrap();
+        b.connect(
+            tee,
+            site,
+            Wire::new(Ohms::new(3.8), Farads::from_femto(5.9)),
+        )
+        .unwrap();
         b.connect(site, s1, Wire::new(Ohms::new(1.0), Farads::from_femto(2.0)))
             .unwrap();
-        b.connect(tee, limited, Wire::new(Ohms::new(2.0), Farads::from_femto(3.0)))
-            .unwrap();
-        b.connect(limited, s2, Wire::new(Ohms::new(1.5), Farads::from_femto(2.5)))
-            .unwrap();
+        b.connect(
+            tee,
+            limited,
+            Wire::new(Ohms::new(2.0), Farads::from_femto(3.0)),
+        )
+        .unwrap();
+        b.connect(
+            limited,
+            s2,
+            Wire::new(Ohms::new(1.5), Farads::from_femto(2.5)),
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -441,7 +458,10 @@ mod tests {
         assert!(parse(redef).unwrap_err().message.contains("redefined"));
 
         let unknown = "fastbuf-net v1\nnodes 1\nnode 0 widget 1\n";
-        assert!(parse(unknown).unwrap_err().message.contains("unknown node kind"));
+        assert!(parse(unknown)
+            .unwrap_err()
+            .message
+            .contains("unknown node kind"));
 
         let undef = "fastbuf-net v1\nnodes 2\nnode 0 source 1\n";
         assert!(parse(undef).unwrap_err().message.contains("never defined"));

@@ -297,7 +297,10 @@ mod tests {
 
     #[test]
     fn zero_wire_has_no_delay() {
-        assert_eq!(Wire::zero().delay(Farads::from_femto(1000.0)), Seconds::ZERO);
+        assert_eq!(
+            Wire::zero().delay(Farads::from_femto(1000.0)),
+            Seconds::ZERO
+        );
     }
 
     #[test]

@@ -226,8 +226,12 @@ mod tests {
         let mut b = TreeBuilder::new();
         let src = b.source(Driver::default());
         let snk = b.sink(Farads::ZERO, Seconds::ZERO);
-        b.connect(src, snk, Wire::new(Ohms::new(10.0), Farads::from_femto(1.0)))
-            .unwrap();
+        b.connect(
+            src,
+            snk,
+            Wire::new(Ohms::new(10.0), Farads::from_femto(1.0)),
+        )
+        .unwrap();
         let t = b.build().unwrap();
         assert_eq!(
             segment_by_pitch(&t, Microns::new(10.0)).unwrap_err(),

@@ -103,8 +103,8 @@ impl fmt::Display for TreeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tree::TreeBuilder;
     use crate::node::Wire;
+    use crate::tree::TreeBuilder;
     use fastbuf_buflib::units::{Ohms as O, Seconds};
     use fastbuf_buflib::{Driver, Technology};
 
@@ -142,7 +142,8 @@ mod tests {
         let mut b = TreeBuilder::new();
         let src = b.source(Driver::default());
         let s1 = b.sink(Farads::ZERO, Seconds::ZERO);
-        b.connect(src, s1, Wire::new(O::new(1.0), Farads::ZERO)).unwrap();
+        b.connect(src, s1, Wire::new(O::new(1.0), Farads::ZERO))
+            .unwrap();
         let stats = b.build().unwrap().stats();
         assert_eq!(stats.total_length, None);
         assert!(!stats.to_string().contains("length="));

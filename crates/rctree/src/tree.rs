@@ -1,7 +1,7 @@
 //! The routing tree and its builder.
 
-use fastbuf_buflib::Driver;
 use fastbuf_buflib::units::{Farads, Seconds};
+use fastbuf_buflib::Driver;
 
 use crate::error::TreeError;
 use crate::node::{NodeId, NodeKind, SiteConstraint, Wire};
@@ -363,7 +363,9 @@ impl TreeBuilder {
             }
         }
         if let Some(i) = visited.iter().position(|&v| !v) {
-            return Err(TreeError::Unreachable { node: NodeId::new(i) });
+            return Err(TreeError::Unreachable {
+                node: NodeId::new(i),
+            });
         }
 
         // Children CSR.
@@ -430,7 +432,10 @@ mod tests {
         assert_eq!(t.parent(t.root()), None);
         assert!(t.wire_to_parent(t.root()).is_none());
         assert!(t.wire_to_parent(NodeId::new(1)).is_some());
-        assert_eq!(t.children(NodeId::new(1)), &[NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            t.children(NodeId::new(1)),
+            &[NodeId::new(2), NodeId::new(3)]
+        );
         assert_eq!(t.sinks().count(), 2);
         assert_eq!(t.buffer_sites().count(), 1);
         assert_eq!(t.driver().resistance(), Ohms::new(100.0));
@@ -493,7 +498,10 @@ mod tests {
         let dead = b.internal();
         b.connect(src, snk, wire()).unwrap();
         b.connect(src, dead, wire()).unwrap();
-        assert_eq!(b.build().unwrap_err(), TreeError::InternalLeaf { node: dead });
+        assert_eq!(
+            b.build().unwrap_err(),
+            TreeError::InternalLeaf { node: dead }
+        );
     }
 
     #[test]
@@ -505,7 +513,10 @@ mod tests {
         let s2 = b.sink(c, r);
         b.connect(src, s1, wire()).unwrap();
         b.connect(s1, s2, wire()).unwrap();
-        assert_eq!(b.build().unwrap_err(), TreeError::SinkWithChildren { node: s1 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            TreeError::SinkWithChildren { node: s1 }
+        );
     }
 
     #[test]
@@ -589,8 +600,10 @@ mod tests {
             TreeError::SiteOnNonInternal { node: snk }
         );
         // Clearing a constraint on a sink is a no-op and allowed.
-        b.set_site_constraint(snk, SiteConstraint::NotASite).unwrap();
-        b.set_site_constraint(mid, SiteConstraint::AnyBuffer).unwrap();
+        b.set_site_constraint(snk, SiteConstraint::NotASite)
+            .unwrap();
+        b.set_site_constraint(mid, SiteConstraint::AnyBuffer)
+            .unwrap();
         let t = b.build().unwrap();
         assert!(t.is_buffer_site(mid));
         assert_eq!(t.buffer_site_count(), 1);

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("unbuffered slack: {}\n", unbuffered.slack);
 
     // Sweep the paper's library sizes: more choices -> better or equal slack.
-    println!("{:<14} {:>14} {:>9} {:>12}", "library", "slack", "buffers", "solve time");
+    println!(
+        "{:<14} {:>14} {:>9} {:>12}",
+        "library", "slack", "buffers", "solve time"
+    );
     let mut best_with_64 = None;
     for b in [8usize, 16, 32, 64] {
         let lib = BufferLibrary::paper_synthetic_jittered(b, 7)?;
@@ -69,6 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lo = lo.min(s.picos());
         hi = hi.max(s.picos());
     }
-    println!("\nleaf slack spread after buffering: {:.1} .. {:.1} ps", lo, hi);
+    println!(
+        "\nleaf slack spread after buffering: {:.1} .. {:.1} ps",
+        lo, hi
+    );
     Ok(())
 }

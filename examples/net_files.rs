@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serialize and show a excerpt of the format.
     let text = io::write(&original);
-    println!("--- net file ({} lines), first 10: ---", text.lines().count());
+    println!(
+        "--- net file ({} lines), first 10: ---",
+        text.lines().count()
+    );
     for line in text.lines().take(10) {
         println!("{line}");
     }
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = fastbuf::rctree::elmore::evaluate(&parsed, &lib, &b.placement_pairs())?;
     let mut slacks = report.sink_slacks.clone();
     slacks.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
-    println!("\nworst 5 sinks after buffering ({} buffers):", b.placements.len());
+    println!(
+        "\nworst 5 sinks after buffering ({} buffers):",
+        b.placements.len()
+    );
     for (node, slack) in slacks.iter().take(5) {
         println!("  {node}: {slack}");
     }

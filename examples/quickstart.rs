@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nverified: forward evaluation measures {measured}");
 
     // 6. The O(b²n²) baseline agrees on the optimum.
-    let baseline = Solver::new(&tree, &lib).algorithm(Algorithm::Lillis).solve();
+    let baseline = Solver::new(&tree, &lib)
+        .algorithm(Algorithm::Lillis)
+        .solve();
     println!(
         "baseline (Lillis) slack: {} — {}",
         baseline.slack,

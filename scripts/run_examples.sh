@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs every example to completion in release mode; any non-zero exit
+# fails the script. CI runs this to keep the examples working; it is also
+# the quickest local end-to-end sanity check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+examples=$(find examples -maxdepth 1 -name '*.rs' -exec basename {} .rs \; | sort)
+for ex in $examples; do
+    echo "=== example: $ex"
+    cargo run --release --quiet --example "$ex"
+done
+echo "=== all $(echo "$examples" | wc -w) examples passed"

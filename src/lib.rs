@@ -56,8 +56,8 @@ pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
-    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, Solver, SolverOptions,
-    SolveStats, VerifyError,
+    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, SolveStats, Solver,
+    SolverOptions, VerifyError,
 };
 
 /// One-stop imports for applications: solver, library, tree-building and
@@ -70,7 +70,5 @@ pub mod prelude {
     pub use fastbuf_core::cost::CostSolver;
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
     pub use fastbuf_core::{Algorithm, Solution, Solver};
-    pub use fastbuf_rctree::{
-        NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire,
-    };
+    pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
 }

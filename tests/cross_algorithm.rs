@@ -42,7 +42,9 @@ fn lillis_and_lishi_agree_everywhere_and_verify() {
     for b in [1usize, 2, 8, 17] {
         let lib = BufferLibrary::paper_synthetic_jittered(b, 3).unwrap();
         for (name, tree) in families() {
-            let lillis = Solver::new(&tree, &lib).algorithm(Algorithm::Lillis).solve();
+            let lillis = Solver::new(&tree, &lib)
+                .algorithm(Algorithm::Lillis)
+                .solve();
             let lishi = Solver::new(&tree, &lib).algorithm(Algorithm::LiShi).solve();
             let tol = 1e-9 * lillis.slack.picos().abs().max(1.0);
             assert!(
@@ -51,12 +53,12 @@ fn lillis_and_lishi_agree_everywhere_and_verify() {
                 lillis.slack,
                 lishi.slack
             );
-            lillis.verify(&tree, &lib).unwrap_or_else(|e| {
-                panic!("{name} b={b}: lillis verification failed: {e}")
-            });
-            lishi.verify(&tree, &lib).unwrap_or_else(|e| {
-                panic!("{name} b={b}: lishi verification failed: {e}")
-            });
+            lillis
+                .verify(&tree, &lib)
+                .unwrap_or_else(|e| panic!("{name} b={b}: lillis verification failed: {e}"));
+            lishi
+                .verify(&tree, &lib)
+                .unwrap_or_else(|e| panic!("{name} b={b}: lishi verification failed: {e}"));
         }
     }
 }
@@ -174,9 +176,7 @@ fn algorithms_agree_under_subset_site_constraints() {
             }
             NodeKind::Internal => {
                 let idx = node.index();
-                let constraint = if !seg.is_buffer_site(node) {
-                    SiteConstraint::NotASite
-                } else if idx % 5 == 0 {
+                let constraint = if !seg.is_buffer_site(node) || idx % 5 == 0 {
                     SiteConstraint::NotASite
                 } else if idx % 3 == 0 {
                     let mut set = BufferSet::empty(lib.len());
@@ -197,7 +197,9 @@ fn algorithms_agree_under_subset_site_constraints() {
     }
     let tree = b.build().unwrap();
 
-    let lillis = Solver::new(&tree, &lib).algorithm(Algorithm::Lillis).solve();
+    let lillis = Solver::new(&tree, &lib)
+        .algorithm(Algorithm::Lillis)
+        .solve();
     let lishi = Solver::new(&tree, &lib).algorithm(Algorithm::LiShi).solve();
     assert!((lillis.slack.picos() - lishi.slack.picos()).abs() < 1e-6);
     lishi.verify(&tree, &lib).unwrap();

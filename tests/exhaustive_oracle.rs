@@ -9,11 +9,7 @@ use fastbuf::rctree::{elmore, NodeId, RoutingTree};
 
 /// Enumerates all `(b+1)^sites` assignments, returning the best slack and
 /// for each budget the best slack at total cost ≤ budget.
-fn brute_force(
-    tree: &RoutingTree,
-    lib: &BufferLibrary,
-    max_budget: u32,
-) -> (f64, Vec<f64>) {
+fn brute_force(tree: &RoutingTree, lib: &BufferLibrary, max_budget: u32) -> (f64, Vec<f64>) {
     let sites: Vec<NodeId> = tree.buffer_sites().collect();
     let choices = lib.len() + 1;
     let total = choices.pow(sites.len() as u32);
@@ -88,12 +84,18 @@ fn tiny_nets() -> Vec<(String, RoutingTree)> {
         let s2 = b.buffer_site();
         let k1 = b.sink(Farads::from_femto(8.0), Seconds::from_pico(700.0));
         let k2 = b.sink(Farads::from_femto(28.0), Seconds::from_pico(850.0));
-        b.connect(src, s0, Wire::from_length(&tech, Microns::new(1800.0))).unwrap();
-        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(700.0))).unwrap();
-        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(2000.0))).unwrap();
-        b.connect(s1, k1, Wire::from_length(&tech, Microns::new(400.0))).unwrap();
-        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(2600.0))).unwrap();
-        b.connect(s2, k2, Wire::from_length(&tech, Microns::new(600.0))).unwrap();
+        b.connect(src, s0, Wire::from_length(&tech, Microns::new(1800.0)))
+            .unwrap();
+        b.connect(s0, tee, Wire::from_length(&tech, Microns::new(700.0)))
+            .unwrap();
+        b.connect(tee, s1, Wire::from_length(&tech, Microns::new(2000.0)))
+            .unwrap();
+        b.connect(s1, k1, Wire::from_length(&tech, Microns::new(400.0)))
+            .unwrap();
+        b.connect(tee, s2, Wire::from_length(&tech, Microns::new(2600.0)))
+            .unwrap();
+        b.connect(s2, k2, Wire::from_length(&tech, Microns::new(600.0)))
+            .unwrap();
         nets.push(("tee/3".into(), b.build().unwrap()));
     }
     for seed in 0..8u64 {
@@ -146,7 +148,10 @@ fn cost_frontier_matches_budgeted_enumeration() {
             continue;
         }
         let (_, best_at) = brute_force(&tree, &lib, budget);
-        let frontier = CostSolver::new(&tree, &lib).max_cost(budget).solve().unwrap();
+        let frontier = CostSolver::new(&tree, &lib)
+            .max_cost(budget)
+            .solve()
+            .unwrap();
         for w in 0..=budget {
             let brute = best_at[w as usize];
             let dp = frontier

@@ -27,11 +27,7 @@ fn mixed_library() -> BufferLibrary {
 }
 
 /// Best feasible slack over all assignments, or None if infeasible.
-fn brute_force(
-    tree: &RoutingTree,
-    lib: &BufferLibrary,
-    negated: &[NodeId],
-) -> Option<f64> {
+fn brute_force(tree: &RoutingTree, lib: &BufferLibrary, negated: &[NodeId]) -> Option<f64> {
     let sites: Vec<NodeId> = tree.buffer_sites().collect();
     let choices = lib.len() + 1;
     let total = choices.pow(sites.len() as u32);

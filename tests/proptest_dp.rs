@@ -13,9 +13,8 @@ use fastbuf::prelude::*;
 use fastbuf::rctree::RoutingTree;
 
 fn arb_library() -> impl Strategy<Value = BufferLibrary> {
-    (2usize..12, 0u64..1000).prop_map(|(b, seed)| {
-        BufferLibrary::paper_synthetic_jittered(b, seed).expect("b >= 2")
-    })
+    (2usize..12, 0u64..1000)
+        .prop_map(|(b, seed)| BufferLibrary::paper_synthetic_jittered(b, seed).expect("b >= 2"))
 }
 
 fn arb_net() -> impl Strategy<Value = RoutingTree> {

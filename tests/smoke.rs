@@ -1,0 +1,48 @@
+//! Workspace smoke test: the `fastbuf::prelude` quick-start path from the
+//! crate docs must work end-to-end — technology, library, tree building,
+//! solving, and independent verification — using only prelude imports.
+
+use fastbuf::prelude::*;
+
+#[test]
+fn prelude_quick_start_path_succeeds() -> Result<(), Box<dyn std::error::Error>> {
+    // Technology -> library -> net, exactly as the README/crate docs show.
+    let tech = Technology::tsmc180_like();
+    let lib = BufferLibrary::paper_synthetic(16)?;
+    assert_eq!(lib.len(), 16);
+
+    // A 12 mm two-pin net with 11 candidate buffer positions (built
+    // through the prelude's TreeBuilder to exercise the public surface).
+    let mut b = TreeBuilder::new();
+    let src = b.source(Driver::new(Ohms::new(180.0)));
+    let mut prev = src;
+    for _ in 0..11 {
+        let site = b.buffer_site();
+        b.connect(prev, site, Wire::from_length(&tech, Microns::new(1_000.0)))?;
+        prev = site;
+    }
+    let sink = b.sink(Farads::from_femto(12.0), Seconds::from_pico(900.0));
+    b.connect(prev, sink, Wire::from_length(&tech, Microns::new(1_000.0)))?;
+    let tree = b.build()?;
+
+    // Solve and cross-check with the independent forward Elmore evaluator.
+    let solution = Solver::new(&tree, &lib).solve();
+    assert!(
+        !solution.placements.is_empty(),
+        "a 12 mm line wants buffers"
+    );
+    solution.verify(&tree, &lib)?;
+
+    // The facade's one-liner net constructor gives the same kind of net.
+    let quick = fastbuf::netgen::line_net(Microns::new(12_000.0), 11);
+    let quick_solution = Solver::new(&quick, &lib).solve();
+    assert!(!quick_solution.placements.is_empty());
+    quick_solution.verify(&quick, &lib)?;
+
+    // All three algorithm variants run on the prelude path.
+    for algo in Algorithm::ALL {
+        let s = Solver::new(&tree, &lib).algorithm(algo).solve();
+        s.verify(&tree, &lib)?;
+    }
+    Ok(())
+}

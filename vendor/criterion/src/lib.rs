@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API this workspace uses:
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`] and [`Criterion::bench_function`],
+//! and [`BenchmarkId`]. Timing is a simple median-of-samples report (one
+//! warm-up run, then `sample_size` timed runs) printed to stdout — no
+//! statistics engine, no HTML reports, but the same source compiles and
+//! `cargo bench` produces usable numbers.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value blocker re-exported for compatibility (prefer
+/// `std::hint::black_box` in new code).
+pub use std::hint::black_box;
+
+/// Entry point collecting benchmark registrations.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; this stand-in samples a fixed count
+    /// rather than a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is always a single run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (`function_name/parameter`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmed: bool,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then one timed sample per
+    /// invocation (the harness calls this repeatedly).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.warmed {
+            black_box(routine());
+            self.warmed = true;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        warmed: false,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "{label:<48} median {} over {} samples",
+        fmt_duration(median),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring criterion's
+/// macro of the same name. Command-line arguments (`--bench`, filters)
+/// are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(5).measurement_time(Duration::from_secs(1));
+            g.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+                b.iter(|| {
+                    runs += 1;
+                    n * n
+                })
+            });
+            g.finish();
+        }
+        // 5 samples + 1 warm-up.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("hull", 100).label, "hull/100");
+        assert_eq!(BenchmarkId::from_parameter("b8").label, "b8");
+    }
+}
