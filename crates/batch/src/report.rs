@@ -1,0 +1,279 @@
+//! Batch results: per-net outcomes, aggregates, and JSON serialization.
+
+use std::fmt;
+use std::time::Duration;
+
+use fastbuf_buflib::units::Seconds;
+use fastbuf_core::{Algorithm, Placement, SolveStats};
+
+/// The outcome of solving one net of a batch.
+#[derive(Clone, Debug)]
+pub struct NetOutcome {
+    /// Position of the net in the input slice (results are always reported
+    /// in input order, whatever order the workers finished in).
+    pub index: usize,
+    /// Sink count of the net.
+    pub sinks: usize,
+    /// Candidate buffer positions of the net.
+    pub sites: usize,
+    /// Slack before any buffering (forward Elmore evaluation).
+    pub slack_before: Seconds,
+    /// Optimal slack after buffering.
+    pub slack: Seconds,
+    /// The buffers to insert (empty when predecessor tracking was off).
+    pub placements: Vec<Placement>,
+    /// Total cost of the inserted buffers.
+    pub cost: f64,
+    /// DP work counters for this net.
+    pub stats: SolveStats,
+    /// Wall-clock solve time for this net (including the unbuffered
+    /// evaluation).
+    pub elapsed: Duration,
+}
+
+/// Aggregated outcome of a [`BatchSolver::solve`](crate::BatchSolver::solve)
+/// run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-net outcomes, in input order.
+    pub outcomes: Vec<NetOutcome>,
+    /// The algorithm every net was solved with.
+    pub algorithm: Algorithm,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Worst net slack before buffering.
+    pub wns_before: Seconds,
+    /// Worst net slack after buffering.
+    pub wns_after: Seconds,
+    /// Total negative slack (`Σ min(slack, 0)`) before buffering.
+    pub tns_before: Seconds,
+    /// Total negative slack after buffering.
+    pub tns_after: Seconds,
+    /// Buffers inserted across the batch.
+    pub total_buffers: usize,
+    /// Total buffer cost across the batch.
+    pub total_cost: f64,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Aggregates `outcomes` (already in input order) into a report.
+    pub(crate) fn from_outcomes(
+        outcomes: Vec<NetOutcome>,
+        algorithm: Algorithm,
+        workers: usize,
+        elapsed: Duration,
+    ) -> Self {
+        let mut report = BatchReport {
+            outcomes,
+            algorithm,
+            workers,
+            wns_before: Seconds::new(f64::INFINITY),
+            wns_after: Seconds::new(f64::INFINITY),
+            tns_before: Seconds::ZERO,
+            tns_after: Seconds::ZERO,
+            total_buffers: 0,
+            total_cost: 0.0,
+            elapsed,
+        };
+        for o in &report.outcomes {
+            report.wns_before = report.wns_before.min(o.slack_before);
+            report.wns_after = report.wns_after.min(o.slack);
+            report.tns_before += o.slack_before.min(Seconds::ZERO);
+            report.tns_after += o.slack.min(Seconds::ZERO);
+            report.total_buffers += o.placements.len();
+            report.total_cost += o.cost;
+        }
+        report
+    }
+
+    /// Nets solved per wall-clock second — the batch throughput metric the
+    /// `batch_throughput` bench records.
+    pub fn nets_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Serializes the report as JSON: batch aggregates plus one entry per
+    /// net. `names` labels the nets (falling back to `net<index>`);
+    /// `include_placements` adds the full placement list per net.
+    ///
+    /// The encoder is hand-rolled (the workspace builds offline, without
+    /// serde); all emitted strings are escaped, all numbers are plain JSON
+    /// numbers.
+    pub fn to_json(&self, names: Option<&[String]>, include_placements: bool) -> String {
+        let mut s = String::with_capacity(256 + self.outcomes.len() * 160);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"nets\": {},\n", self.outcomes.len()));
+        s.push_str(&format!(
+            "  \"algorithm\": {},\n",
+            json_str(self.algorithm.name())
+        ));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!(
+            "  \"elapsed_ms\": {},\n",
+            json_f64(self.elapsed.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!(
+            "  \"nets_per_sec\": {},\n",
+            json_f64(self.nets_per_sec())
+        ));
+        s.push_str(&format!(
+            "  \"wns_before_ps\": {},\n",
+            json_f64(self.wns_before.picos())
+        ));
+        s.push_str(&format!(
+            "  \"wns_after_ps\": {},\n",
+            json_f64(self.wns_after.picos())
+        ));
+        s.push_str(&format!(
+            "  \"tns_before_ps\": {},\n",
+            json_f64(self.tns_before.picos())
+        ));
+        s.push_str(&format!(
+            "  \"tns_after_ps\": {},\n",
+            json_f64(self.tns_after.picos())
+        ));
+        s.push_str(&format!("  \"total_buffers\": {},\n", self.total_buffers));
+        s.push_str(&format!(
+            "  \"total_cost\": {},\n",
+            json_f64(self.total_cost)
+        ));
+        s.push_str("  \"results\": [\n");
+        for (k, o) in self.outcomes.iter().enumerate() {
+            let fallback;
+            let name = match names.and_then(|n| n.get(o.index)) {
+                Some(n) => n.as_str(),
+                None => {
+                    fallback = format!("net{:05}", o.index);
+                    fallback.as_str()
+                }
+            };
+            s.push_str("    {");
+            s.push_str(&format!("\"net\": {}, ", json_str(name)));
+            s.push_str(&format!("\"index\": {}, ", o.index));
+            s.push_str(&format!("\"sinks\": {}, ", o.sinks));
+            s.push_str(&format!("\"sites\": {}, ", o.sites));
+            s.push_str(&format!(
+                "\"slack_before_ps\": {}, ",
+                json_f64(o.slack_before.picos())
+            ));
+            s.push_str(&format!(
+                "\"slack_after_ps\": {}, ",
+                json_f64(o.slack.picos())
+            ));
+            s.push_str(&format!("\"buffers\": {}, ", o.placements.len()));
+            s.push_str(&format!("\"cost\": {}, ", json_f64(o.cost)));
+            s.push_str(&format!(
+                "\"elapsed_us\": {}",
+                json_f64(o.elapsed.as_secs_f64() * 1e6)
+            ));
+            if include_placements {
+                s.push_str(", \"placements\": [");
+                for (j, p) in o.placements.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!(
+                        "{{\"node\": {}, \"buffer\": {}}}",
+                        p.node.index(),
+                        p.buffer.index()
+                    ));
+                }
+                s.push(']');
+            }
+            s.push('}');
+            if k + 1 < self.outcomes.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nets on {} workers in {:.1} ms ({:.0} nets/s): WNS {} -> {}, {} buffers (cost {:.0})",
+            self.outcomes.len(),
+            self.workers,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.nets_per_sec(),
+            self.wns_before,
+            self.wns_after,
+            self.total_buffers,
+            self.total_cost,
+        )
+    }
+}
+
+/// Formats an `f64` as a valid JSON number (JSON has no `Infinity`/`NaN`;
+/// those become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 always includes a sign/digits; it never produces the
+        // `inf`/`NaN` spellings for finite values, so `s` is valid JSON.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_numbers() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn empty_report_aggregates() {
+        let r = BatchReport::from_outcomes(Vec::new(), Algorithm::LiShi, 1, Duration::ZERO);
+        assert_eq!(r.total_buffers, 0);
+        assert_eq!(r.outcomes.len(), 0);
+        let json = r.to_json(None, false);
+        assert!(json.contains("\"nets\": 0"));
+        assert!(json.contains("\"results\": ["));
+    }
+}

@@ -1,0 +1,195 @@
+//! The worker-pool batch solver.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, SolveWorkspace, Solver, SolverOptions};
+use fastbuf_rctree::{elmore, RoutingTree};
+
+use crate::report::{BatchReport, NetOutcome};
+
+/// Configuration of a [`BatchSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// The per-net algorithm (default [`Algorithm::LiShi`]).
+    pub algorithm: Algorithm,
+    /// Worker threads (`None` = available parallelism, capped at the net
+    /// count).
+    pub workers: Option<NonZeroUsize>,
+    /// Record predecessor information so placements can be reconstructed
+    /// (default `true`). Disable for pure throughput measurements.
+    pub track_predecessors: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            algorithm: Algorithm::default(),
+            workers: None,
+            track_predecessors: true,
+        }
+    }
+}
+
+/// Solves a fleet of independent nets against one shared buffer library,
+/// fanned out over a pool of worker threads.
+///
+/// Scheduling: net indices are queued **largest net first** (by node
+/// count) into a shared multi-consumer channel, and idle workers steal the
+/// next-largest remaining net. Large nets therefore start earliest and
+/// cannot straggle at the end of the batch, which is what limits speedup
+/// under naive round-robin partitioning when net sizes are heavy-tailed.
+///
+/// Each worker owns one [`SolveWorkspace`], so after the first few nets a
+/// worker solves with no steady-state allocation. Results are written back
+/// by input index: the report is **deterministic and bit-identical for any
+/// worker count** (nets are independent sub-problems; only the wall time
+/// changes).
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_batch::BatchSolver;
+/// use fastbuf_buflib::BufferLibrary;
+/// use fastbuf_netgen::SuiteSpec;
+///
+/// let nets = SuiteSpec { nets: 12, seed: 5, ..SuiteSpec::default() }.build();
+/// let lib = BufferLibrary::paper_synthetic(8)?;
+/// let report = BatchSolver::new(&nets, &lib).workers(4).solve();
+/// assert_eq!(report.outcomes.len(), 12);
+/// // Every net improved (or kept) its slack:
+/// assert!(report.outcomes.iter().all(|o| o.slack >= o.slack_before));
+/// # Ok::<(), fastbuf_buflib::LibraryError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchSolver<'a> {
+    nets: &'a [RoutingTree],
+    library: &'a BufferLibrary,
+    options: BatchOptions,
+}
+
+impl<'a> BatchSolver<'a> {
+    /// Creates a batch solver with default options.
+    pub fn new(nets: &'a [RoutingTree], library: &'a BufferLibrary) -> Self {
+        BatchSolver {
+            nets,
+            library,
+            options: BatchOptions::default(),
+        }
+    }
+
+    /// Replaces all options.
+    #[must_use]
+    pub fn with_options(mut self, options: BatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the worker count (at least 1; capped at the net count).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = Some(NonZeroUsize::new(workers.max(1)).expect("max(1) is nonzero"));
+        self
+    }
+
+    /// Selects the per-net algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.options.algorithm = algorithm;
+        self
+    }
+
+    /// Enables or disables predecessor tracking.
+    #[must_use]
+    pub fn track_predecessors(mut self, track: bool) -> Self {
+        self.options.track_predecessors = track;
+        self
+    }
+
+    /// Solves every net and returns the aggregated report, with per-net
+    /// outcomes in input order.
+    pub fn solve(&self) -> BatchReport {
+        let start = Instant::now();
+        let nets = self.nets;
+        let library = self.library;
+        let solver_options = SolverOptions {
+            algorithm: self.options.algorithm,
+            track_predecessors: self.options.track_predecessors,
+        };
+        let workers = self
+            .options
+            .workers
+            .map(NonZeroUsize::get)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, nets.len().max(1));
+
+        // Largest-first dispatch order (ties broken by index, so the
+        // schedule itself is deterministic even though completion order is
+        // not).
+        let mut order: Vec<usize> = (0..nets.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(nets[i].node_count()), i));
+
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in order {
+            tx.send(i).expect("receiver is alive");
+        }
+        drop(tx);
+
+        let mut outcomes: Vec<Option<NetOutcome>> = Vec::with_capacity(nets.len());
+        outcomes.resize_with(nets.len(), || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move || {
+                        let mut workspace = SolveWorkspace::new();
+                        let mut local: Vec<(usize, NetOutcome)> = Vec::new();
+                        while let Ok(i) = rx.recv() {
+                            let tree = &nets[i];
+                            let t0 = Instant::now();
+                            let before = elmore::evaluate(tree, library, &[])
+                                .expect("the empty placement is always legal");
+                            let solution = Solver::new(tree, library)
+                                .with_options(solver_options)
+                                .solve_with(&mut workspace);
+                            local.push((
+                                i,
+                                NetOutcome {
+                                    index: i,
+                                    sinks: tree.sink_count(),
+                                    sites: tree.buffer_site_count(),
+                                    slack_before: before.slack,
+                                    slack: solution.slack,
+                                    cost: solution.total_cost(library),
+                                    placements: solution.placements,
+                                    stats: solution.stats,
+                                    elapsed: t0.elapsed(),
+                                },
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, outcome) in handle.join().expect("worker panicked") {
+                    outcomes[i] = Some(outcome);
+                }
+            }
+        });
+
+        let outcomes: Vec<NetOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every queued net was solved"))
+            .collect();
+        BatchReport::from_outcomes(outcomes, self.options.algorithm, workers, start.elapsed())
+    }
+}

@@ -1,0 +1,155 @@
+//! Batch-vs-sequential equivalence and cross-worker-count determinism.
+//!
+//! These are the contract tests of the batch subsystem: fanning nets over
+//! a worker pool (with per-worker reusable workspaces) must change *only*
+//! the wall time, never a single bit of any result.
+
+use fastbuf_batch::{BatchReport, BatchSolver};
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, Solver};
+use fastbuf_netgen::SuiteSpec;
+use fastbuf_rctree::RoutingTree;
+
+fn suite(nets: usize, seed: u64) -> Vec<RoutingTree> {
+    SuiteSpec {
+        nets,
+        seed,
+        max_sinks: 96,
+        ..SuiteSpec::default()
+    }
+    .build()
+}
+
+fn assert_reports_identical(a: &BatchReport, b: &BatchReport) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.index, y.index);
+        assert_eq!(x.slack, y.slack, "net {}", x.index);
+        assert_eq!(x.slack_before, y.slack_before, "net {}", x.index);
+        assert_eq!(x.placements, y.placements, "net {}", x.index);
+        assert_eq!(x.cost, y.cost, "net {}", x.index);
+    }
+    assert_eq!(a.wns_after, b.wns_after);
+    assert_eq!(a.tns_after, b.tns_after);
+    assert_eq!(a.total_buffers, b.total_buffers);
+}
+
+#[test]
+fn batch_matches_sequential_single_net_solves() {
+    let nets = suite(30, 1);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let report = BatchSolver::new(&nets, &lib).workers(4).solve();
+    assert_eq!(report.outcomes.len(), nets.len());
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        assert_eq!(outcome.index, i, "outcomes must be in input order");
+        let solo = Solver::new(&nets[i], &lib).solve();
+        assert_eq!(outcome.slack, solo.slack, "net {i}");
+        assert_eq!(outcome.placements, solo.placements, "net {i}");
+        assert_eq!(outcome.cost, solo.total_cost(&lib), "net {i}");
+        // And every reconstruction survives the independent Elmore check.
+        solo.verify(&nets[i], &lib).unwrap();
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let nets = suite(24, 9);
+    let lib = BufferLibrary::paper_synthetic(16).unwrap();
+    let base = BatchSolver::new(&nets, &lib).workers(1).solve();
+    assert_eq!(base.workers, 1);
+    for workers in [2usize, 3, 4, 8] {
+        let parallel = BatchSolver::new(&nets, &lib).workers(workers).solve();
+        assert!(parallel.workers >= 1 && parallel.workers <= workers);
+        assert_reports_identical(&base, &parallel);
+    }
+}
+
+#[test]
+fn all_algorithms_run_through_the_batch_path() {
+    let nets = suite(10, 3);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let exact = BatchSolver::new(&nets, &lib)
+        .algorithm(Algorithm::Lillis)
+        .workers(2)
+        .solve();
+    let fast = BatchSolver::new(&nets, &lib)
+        .algorithm(Algorithm::LiShi)
+        .workers(2)
+        .solve();
+    for (a, b) in exact.outcomes.iter().zip(&fast.outcomes) {
+        assert!(
+            (a.slack.picos() - b.slack.picos()).abs() < 1e-6,
+            "net {}: exact algorithms disagree",
+            a.index
+        );
+    }
+    // The published permanent pruning may lose slack but must never win.
+    let permanent = BatchSolver::new(&nets, &lib)
+        .algorithm(Algorithm::LiShiPermanent)
+        .workers(2)
+        .solve();
+    for (a, p) in exact.outcomes.iter().zip(&permanent.outcomes) {
+        assert!(p.slack.picos() <= a.slack.picos() + 1e-6, "net {}", a.index);
+    }
+}
+
+#[test]
+fn untracked_batch_skips_placements_but_keeps_slacks() {
+    let nets = suite(8, 5);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let tracked = BatchSolver::new(&nets, &lib).workers(2).solve();
+    let untracked = BatchSolver::new(&nets, &lib)
+        .workers(2)
+        .track_predecessors(false)
+        .solve();
+    for (t, u) in tracked.outcomes.iter().zip(&untracked.outcomes) {
+        assert_eq!(t.slack, u.slack);
+        assert!(u.placements.is_empty());
+    }
+    assert_eq!(untracked.total_buffers, 0);
+}
+
+#[test]
+fn report_json_is_wellformed_and_ordered() {
+    let nets = suite(5, 2);
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+    let report = BatchSolver::new(&nets, &lib).workers(2).solve();
+    let names: Vec<String> = (0..nets.len())
+        .map(|i| format!("suite/{i:03}.net"))
+        .collect();
+    let json = report.to_json(Some(&names), true);
+    assert!(json.contains("\"nets\": 5"));
+    assert!(json.contains("\"net\": \"suite/000.net\""));
+    assert!(json.contains("\"placements\": ["));
+    // Balanced braces/brackets (cheap well-formedness check; the format is
+    // flat enough that counting suffices).
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces"
+    );
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    // Results appear in input order.
+    let pos: Vec<usize> = (0..5)
+        .map(|i| json.find(&format!("\"index\": {i},")).unwrap())
+        .collect();
+    assert!(pos.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn single_net_batch_works() {
+    let nets = suite(1, 77);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let report = BatchSolver::new(&nets, &lib).workers(8).solve();
+    assert_eq!(report.workers, 1, "workers are capped at the net count");
+    assert_eq!(report.outcomes.len(), 1);
+}
+
+#[test]
+fn empty_batch_is_empty_report() {
+    let nets: Vec<RoutingTree> = Vec::new();
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+    let report = BatchSolver::new(&nets, &lib).solve();
+    assert!(report.outcomes.is_empty());
+    assert_eq!(report.total_buffers, 0);
+}

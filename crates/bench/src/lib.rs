@@ -12,6 +12,7 @@
 //! | `ablation_counters` | machine-independent `AddBuffer` work counters vs `b` |
 //! | `clustering_quality` | library clustering (Alpert et al.) quality loss vs solving the full library |
 //! | `cost_frontier` | slack-vs-cost Pareto frontier (the paper's cost extension) |
+//! | `batch_throughput` | nets/sec of the `fastbuf-batch` worker pool at 1/2/4/8 workers (writes `BENCH_batch.json`) |
 //!
 //! Every harness accepts `--scale <f>` (shrink sink counts for quick runs;
 //! default 0.25) or `--full` (exact paper sizes), plus `--repeats <k>`.

@@ -1,24 +1,29 @@
 //! Subcommand implementations.
 
 use std::fs;
+use std::path::{Path, PathBuf};
 
+use fastbuf_batch::BatchSolver;
 use fastbuf_buflib::units::Microns;
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_core::cost::CostSolver;
 use fastbuf_core::{Algorithm, Solver};
-use fastbuf_netgen::{caterpillar_net, h_tree, line_net, HTreeSpec, RandomNetSpec};
+use fastbuf_netgen::{caterpillar_net, h_tree, line_net, HTreeSpec, RandomNetSpec, SuiteSpec};
 use fastbuf_rctree::{elmore, io as netio, RoutingTree};
 
 use crate::args::Flags;
 
 const USAGE: &str = "usage:
-  fastbuf gen net  [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
-                   [--seed S] [--pitch UM] [--length UM] [--levels L] [-o FILE]
-  fastbuf gen lib  [--size B] [--jitter SEED] [-o FILE]
-  fastbuf info     --net FILE
-  fastbuf solve    --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
-                   [--placements] [--stats] [--no-verify]
-  fastbuf frontier --net FILE --lib FILE [--max-cost W]";
+  fastbuf gen net   [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
+                    [--seed S] [--pitch UM] [--length UM] [--levels L] [-o FILE]
+  fastbuf gen lib   [--size B] [--jitter SEED] [-o FILE]
+  fastbuf gen suite --out-dir DIR [--nets N] [--max-sinks M] [--seed S] [--pitch UM]
+  fastbuf info      --net FILE
+  fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+                    [--placements] [--stats] [--no-verify]
+  fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
+                    [--json FILE] [--placements] [--per-net] [--check] [--no-verify]
+  fastbuf frontier  --net FILE --lib FILE [--max-cost W]";
 
 /// Dispatches `argv` to a subcommand.
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -26,10 +31,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some("gen") => match argv.get(1).map(String::as_str) {
             Some("net") => gen_net(&argv[2..]),
             Some("lib") => gen_lib(&argv[2..]),
-            _ => Err(format!("`gen` needs `net` or `lib`\n{USAGE}")),
+            Some("suite") => gen_suite(&argv[2..]),
+            _ => Err(format!("`gen` needs `net`, `lib`, or `suite`\n{USAGE}")),
         },
         Some("info") => info(&argv[1..]),
         Some("solve") => solve(&argv[1..]),
+        Some("batch") => batch(&argv[1..]),
         Some("frontier") => frontier(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -124,6 +131,169 @@ fn gen_lib(argv: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     emit(&flags, &lib.to_text())
+}
+
+fn gen_suite(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        argv,
+        &["out-dir", "nets", "max-sinks", "seed", "pitch"],
+        &[],
+    )?;
+    let dir = PathBuf::from(flags.required("out-dir")?);
+    let spec = SuiteSpec {
+        nets: flags.parsed_or("nets", 100usize)?,
+        max_sinks: flags.parsed_or("max-sinks", 256usize)?,
+        seed: flags.parsed_or("seed", 1u64)?,
+        site_pitch: Microns::new(flags.parsed_or("pitch", 200.0f64)?),
+    };
+    if spec.nets == 0 {
+        return Err("--nets must be at least 1".into());
+    }
+    if spec.max_sinks < 8 {
+        return Err("--max-sinks must be at least 8".into());
+    }
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    for i in 0..spec.nets {
+        let tree = spec.build_net(i);
+        let path = dir.join(format!("net{i:05}.net"));
+        fs::write(&path, netio::write(&tree))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    }
+    println!(
+        "wrote {} nets (seed {}, max {} sinks) to {}",
+        spec.nets,
+        spec.seed,
+        spec.max_sinks,
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Loads the nets of a `batch` run: every `*.net` in `--dir` (sorted by
+/// file name), or the paths listed in `--manifest` (one per line, `#`
+/// comments allowed, relative to the manifest's directory).
+fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), String> {
+    let paths: Vec<PathBuf> = match (flags.value("dir"), flags.value("manifest")) {
+        (Some(_), Some(_)) => return Err("give either --dir or --manifest, not both".into()),
+        (Some(dir), None) => {
+            let mut v: Vec<PathBuf> = fs::read_dir(dir)
+                .map_err(|e| format!("cannot read `{dir}`: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "net"))
+                .collect();
+            v.sort();
+            v
+        }
+        (None, Some(manifest)) => {
+            let text = fs::read_to_string(manifest)
+                .map_err(|e| format!("cannot read `{manifest}`: {e}"))?;
+            let base = Path::new(manifest).parent().unwrap_or(Path::new("."));
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(|l| base.join(l))
+                .collect()
+        }
+        (None, None) => return Err(format!("`batch` needs --dir or --manifest\n{USAGE}")),
+    };
+    if paths.is_empty() {
+        return Err("no .net files found".into());
+    }
+    let mut names = Vec::with_capacity(paths.len());
+    let mut nets = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        nets.push(netio::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+        names.push(path.display().to_string());
+    }
+    Ok((names, nets))
+}
+
+fn batch(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        argv,
+        &["dir", "manifest", "lib", "algo", "workers", "json"],
+        &["placements", "per-net", "check", "no-verify"],
+    )?;
+    let (names, nets) = load_batch_nets(&flags)?;
+    let lib = load_lib(&flags)?;
+    let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
+    let mut solver = BatchSolver::new(&nets, &lib).algorithm(algo);
+    if let Some(w) = flags.value("workers") {
+        let w: usize = w.parse().map_err(|_| "bad --workers".to_string())?;
+        if w == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+        solver = solver.workers(w);
+    }
+    let report = solver.solve();
+
+    if !flags.switch("no-verify") {
+        // Independent forward-Elmore check of every reconstruction.
+        for o in &report.outcomes {
+            let measured = elmore::evaluate(
+                &nets[o.index],
+                &lib,
+                &o.placements
+                    .iter()
+                    .map(|p| (p.node, p.buffer))
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(|e| format!("{}: {e}", names[o.index]))?;
+            // Same relative tolerance as `Solution::verify` — one
+            // definition of "verified" across the workspace.
+            let (predicted, measured_v) = (o.slack.value(), measured.slack.value());
+            let tol = 1e-9 * predicted.abs().max(measured_v.abs()).max(1e-12);
+            if (measured_v - predicted).abs() > tol {
+                return Err(format!(
+                    "{}: batch predicted {} but Elmore measures {}",
+                    names[o.index], o.slack, measured.slack
+                ));
+            }
+        }
+    }
+    if flags.switch("check") {
+        // Re-solve sequentially and demand bit-identical results.
+        for o in &report.outcomes {
+            let solo = Solver::new(&nets[o.index], &lib).algorithm(algo).solve();
+            if solo.slack != o.slack || solo.placements != o.placements {
+                return Err(format!(
+                    "{}: batch result diverges from sequential solve",
+                    names[o.index]
+                ));
+            }
+        }
+        println!(
+            "check: all {} batch results identical to sequential solves",
+            report.outcomes.len()
+        );
+    }
+
+    if flags.switch("per-net") {
+        for o in &report.outcomes {
+            println!(
+                "  {:<40} sinks {:>5} sites {:>6} slack {} -> {} buffers {:>4}",
+                names[o.index],
+                o.sinks,
+                o.sites,
+                o.slack_before,
+                o.slack,
+                o.placements.len()
+            );
+        }
+    }
+    println!("{report}");
+    if let Some(path) = flags.value("json") {
+        let json = report.to_json(Some(&names), flags.switch("placements"));
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("json report written to {path}");
+        }
+    }
+    Ok(())
 }
 
 fn info(argv: &[String]) -> Result<(), String> {
@@ -324,6 +494,108 @@ mod tests {
             .collect();
         assert!(run(&argv).unwrap_err().contains("unknown net kind"));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suite_and_batch_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-batch-{}", std::process::id()));
+        let suite_dir = dir.join("suite");
+        fs::create_dir_all(&dir).unwrap();
+        let lib = dir.join("b.lib");
+        let json = dir.join("report.json");
+
+        let argv: Vec<String> = [
+            "gen",
+            "suite",
+            "--nets",
+            "12",
+            "--max-sinks",
+            "24",
+            "--seed",
+            "5",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        assert_eq!(fs::read_dir(&suite_dir).unwrap().count(), 12);
+
+        let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap();
+
+        let argv: Vec<String> = [
+            "batch",
+            "--dir",
+            suite_dir.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--workers",
+            "3",
+            "--check",
+            "--per-net",
+            "--json",
+            json.to_str().unwrap(),
+            "--placements",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        let report = fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"nets\": 12"));
+        assert!(report.contains("\"placements\""));
+
+        // The same run through a manifest (with a comment line) works too.
+        let manifest = dir.join("nets.txt");
+        let mut listing = String::from("# three nets of the suite\n");
+        for i in [0usize, 3, 7] {
+            listing.push_str(&format!("suite/net{i:05}.net\n"));
+        }
+        fs::write(&manifest, listing).unwrap();
+        let argv: Vec<String> = [
+            "batch",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_flag_validation() {
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let err = run_strs(&["batch", "--lib", "/nonexistent.lib"]).unwrap_err();
+        assert!(err.contains("--dir or --manifest"), "{err}");
+        let err = run_strs(&[
+            "batch",
+            "--dir",
+            "/nonexistent-dir",
+            "--manifest",
+            "/nonexistent.txt",
+            "--lib",
+            "x",
+        ])
+        .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = run_strs(&["batch", "--dir", "/nonexistent-dir", "--lib", "x"]).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // Suite bounds are CLI errors, not netgen panics.
+        let err = run_strs(&["gen", "suite", "--out-dir", "/tmp/x", "--nets", "0"]).unwrap_err();
+        assert!(err.contains("--nets"), "{err}");
+        let err =
+            run_strs(&["gen", "suite", "--out-dir", "/tmp/x", "--max-sinks", "4"]).unwrap_err();
+        assert!(err.contains("--max-sinks"), "{err}");
     }
 
     #[test]

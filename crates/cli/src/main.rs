@@ -1,14 +1,21 @@
 //! `fastbuf` — command-line buffer insertion.
 //!
 //! ```text
-//! fastbuf gen net  [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
-//!                  [--seed S] [--pitch UM] [-o FILE]
-//! fastbuf gen lib  [--size B] [--jitter SEED] [-o FILE]
-//! fastbuf info     --net FILE
-//! fastbuf solve    --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
-//!                  [--placements] [--stats] [--no-verify]
-//! fastbuf frontier --net FILE --lib FILE [--max-cost W]
+//! fastbuf gen net   [--kind random|line|htree|caterpillar] [--sinks N] [--sites N]
+//!                   [--seed S] [--pitch UM] [-o FILE]
+//! fastbuf gen lib   [--size B] [--jitter SEED] [-o FILE]
+//! fastbuf gen suite --out-dir DIR [--nets N] [--max-sinks M] [--seed S] [--pitch UM]
+//! fastbuf info      --net FILE
+//! fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+//!                   [--placements] [--stats] [--no-verify]
+//! fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
+//!                   [--json FILE] [--placements] [--per-net] [--check] [--no-verify]
+//! fastbuf frontier  --net FILE --lib FILE [--max-cost W]
 //! ```
+//!
+//! `batch` solves every net of a directory or manifest in parallel through
+//! `fastbuf-batch` and emits per-net + aggregate results (optionally as
+//! JSON); `gen suite` writes a reproducible heavy-tailed net fleet for it.
 //!
 //! Nets and libraries use the plain-text formats of `fastbuf_rctree::io`
 //! and `fastbuf_buflib::BufferLibrary::{to_text, from_text}`.

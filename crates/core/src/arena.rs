@@ -79,6 +79,14 @@ impl PredArena {
         self.entries.len()
     }
 
+    /// Removes all entries while keeping the allocation, so the arena can be
+    /// reused across solves (see
+    /// [`SolveWorkspace`](crate::SolveWorkspace)). All previously issued
+    /// [`PredRef`]s are invalidated.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// `true` if no entries have been recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

@@ -26,6 +26,7 @@ use fastbuf_rctree::{NodeId, SiteConstraint};
 use crate::arena::{PredArena, PredEntry, PredRef};
 use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
 use crate::hull::{convex_prune_in_place, upper_hull_into};
+use crate::pool::CandidatePool;
 use crate::stats::SolveStats;
 
 /// Which buffer-insertion algorithm the [`Solver`](crate::Solver) runs.
@@ -107,6 +108,10 @@ pub(crate) struct Scratch {
     /// Best buffered candidate per library type index, or `None`.
     pub(crate) beta_slots: Vec<Option<Candidate>>,
     betas: Vec<Candidate>,
+    /// Freelist of candidate vectors shared by every list-producing DP
+    /// operation of the owning solve (and, through
+    /// [`SolveWorkspace`](crate::SolveWorkspace), across solves).
+    pub(crate) pool: CandidatePool,
 }
 
 /// Per-buffer-type parameters hoisted out of the walk loops.
@@ -148,7 +153,8 @@ pub(crate) fn add_buffers(
         }
     }
     stats.betas_generated += scratch.betas.len() as u64;
-    list.merge_insert(&scratch.betas);
+    let Scratch { betas, pool, .. } = scratch;
+    list.merge_insert_pooled(betas, pool);
 }
 
 /// Computes the best buffered candidate `β_i` for every allowed type into

@@ -14,6 +14,7 @@
 //! public solver APIs convert at the boundary.
 
 use crate::arena::PredRef;
+use crate::pool::CandidatePool;
 
 /// One `(Q, C)` candidate of the dynamic program.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -142,6 +143,12 @@ impl CandidateList {
         &mut self.cands
     }
 
+    /// Consumes the list, releasing its backing vector (for recycling
+    /// through a [`CandidatePool`]).
+    pub(crate) fn into_vec(self) -> Vec<Candidate> {
+        self.cands
+    }
+
     /// Propagates the list through a wire of resistance `r` (Ω) and
     /// capacitance `cw` (F) — the paper's "add a wire" operation:
     ///
@@ -185,12 +192,36 @@ impl CandidateList {
     /// buffered candidates of Theorem 2) into this list in
     /// O(len + incoming.len).
     pub fn merge_insert(&mut self, incoming: &[Candidate]) {
+        let spent = self.merge_insert_into(incoming, Vec::new());
+        drop(spent);
+    }
+
+    /// [`CandidateList::merge_insert`] with recycled storage: the output is
+    /// built in a vector drawn from `pool` and the spent input vector is
+    /// returned to it, so steady-state insertion performs no allocation.
+    pub(crate) fn merge_insert_pooled(&mut self, incoming: &[Candidate], pool: &mut CandidatePool) {
         if incoming.is_empty() {
             return;
         }
+        let out = pool.take();
+        let spent = self.merge_insert_into(incoming, out);
+        pool.put(spent);
+    }
+
+    /// Shared implementation: merges `incoming` into the list using `out`
+    /// as the output storage and returns the replaced (spent) vector.
+    fn merge_insert_into(
+        &mut self,
+        incoming: &[Candidate],
+        mut out: Vec<Candidate>,
+    ) -> Vec<Candidate> {
+        if incoming.is_empty() {
+            return out;
+        }
         debug_assert!(incoming.windows(2).all(|w| w[0].c < w[1].c));
         let old = std::mem::take(&mut self.cands);
-        let mut out = Vec::with_capacity(old.len() + incoming.len());
+        out.clear();
+        out.reserve(old.len() + incoming.len());
         let (mut i, mut j) = (0, 0);
         while i < old.len() || j < incoming.len() {
             let take_old = match (old.get(i), incoming.get(j)) {
@@ -222,6 +253,7 @@ impl CandidateList {
         }
         self.cands = out;
         self.debug_validate();
+        old
     }
 
     /// The candidate maximizing `Q − (k + r·C)` (slack seen by an upstream

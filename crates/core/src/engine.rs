@@ -16,10 +16,57 @@ use fastbuf_rctree::{NodeKind, RoutingTree};
 
 use crate::arena::{PredArena, PredRef};
 use crate::buffering::{add_buffers, Algorithm, Scratch};
-use crate::candidate::CandidateList;
-use crate::merge::merge_branches;
+use crate::candidate::{Candidate, CandidateList};
+use crate::merge::merge_branches_pooled;
 use crate::solution::Solution;
 use crate::stats::SolveStats;
+
+/// Reusable solver state: every allocation a solve needs, kept alive
+/// between solves.
+///
+/// A single [`Solver::solve`] call allocates a predecessor arena, per-node
+/// candidate-list slots, and O(n) short-lived candidate vectors. Solving
+/// *many* nets — the batch workload of `fastbuf-batch` — would repeat those
+/// allocations per net. A `SolveWorkspace` owns all of them and recycles
+/// them: pass the same workspace to [`Solver::solve_with`] repeatedly (one
+/// workspace per worker thread) and, once warm, each solve runs with no
+/// steady-state heap traffic.
+///
+/// Results are bit-identical to [`Solver::solve`]: the workspace only
+/// changes *where* vectors come from, never the arithmetic or its order.
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::units::Microns;
+/// use fastbuf_buflib::BufferLibrary;
+/// use fastbuf_core::{Solver, SolveWorkspace};
+///
+/// let lib = BufferLibrary::paper_synthetic(8)?;
+/// let mut ws = SolveWorkspace::new();
+/// for sites in [5usize, 9, 13] {
+///     let tree = fastbuf_netgen::line_net(Microns::new(8000.0), sites);
+///     let reused = Solver::new(&tree, &lib).solve_with(&mut ws);
+///     let fresh = Solver::new(&tree, &lib).solve();
+///     assert_eq!(reused.slack, fresh.slack);
+///     assert_eq!(reused.placements, fresh.placements);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    arena: PredArena,
+    scratch: Scratch,
+    lists: Vec<Option<CandidateList>>,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace. Allocations grow on first use and are
+    /// retained afterwards.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+}
 
 /// Configuration of a [`Solver`].
 #[derive(Clone, Copy, Debug)]
@@ -123,8 +170,19 @@ impl<'a> Solver<'a> {
     ///
     /// For [`Algorithm::Lillis`] and [`Algorithm::LiShi`] the result is the
     /// provably optimal slack; for [`Algorithm::LiShiPermanent`] it may be
-    /// slightly below optimal on multi-pin nets (see `DESIGN.md` §2.1).
+    /// slightly below optimal on multi-pin nets (see `DESIGN.md` §2.1 and
+    /// `docs/ALGORITHM.md`).
     pub fn solve(&self) -> Solution {
+        self.solve_with(&mut SolveWorkspace::new())
+    }
+
+    /// [`Solver::solve`] with caller-provided reusable state.
+    ///
+    /// Identical output to [`Solver::solve`]; the workspace only recycles
+    /// allocations between calls. Use one [`SolveWorkspace`] per thread and
+    /// pass it to every solve on that thread — this is how the batch
+    /// subsystem (`fastbuf-batch`) eliminates per-net allocation churn.
+    pub fn solve_with(&self, workspace: &mut SolveWorkspace) -> Solution {
         let start = Instant::now();
         let tree = self.tree;
         let lib = self.library;
@@ -132,20 +190,29 @@ impl<'a> Solver<'a> {
         let algo = self.options.algorithm;
 
         let mut stats = SolveStats::default();
-        let mut arena = PredArena::new();
-        let mut scratch = Scratch::default();
-        let mut lists: Vec<Option<CandidateList>> = vec![None; tree.node_count()];
+        let SolveWorkspace {
+            arena,
+            scratch,
+            lists,
+        } = workspace;
+        arena.clear();
+        lists.clear();
+        lists.resize(tree.node_count(), None);
 
         for &node in tree.postorder() {
             let list = match tree.kind(node) {
                 NodeKind::Sink {
                     capacitance,
                     required_arrival,
-                } => CandidateList::sink(
-                    required_arrival.value(),
-                    capacitance.value(),
-                    PredRef::NONE,
-                ),
+                } => {
+                    let mut v = scratch.pool.take();
+                    v.push(Candidate::new(
+                        required_arrival.value(),
+                        capacitance.value(),
+                        PredRef::NONE,
+                    ));
+                    CandidateList::from_sorted(v)
+                }
                 NodeKind::Internal | NodeKind::Source { .. } => {
                     let mut acc: Option<CandidateList> = None;
                     for &child in tree.children(node) {
@@ -161,7 +228,7 @@ impl<'a> Solver<'a> {
                             None => cl,
                             Some(prev) => {
                                 stats.merge_ops += 1;
-                                merge_branches(prev, cl, &mut arena, track)
+                                merge_branches_pooled(prev, cl, arena, track, &mut scratch.pool)
                             }
                         });
                     }
@@ -173,9 +240,9 @@ impl<'a> Solver<'a> {
                             lib,
                             tree.site_constraint(node),
                             node,
-                            &mut arena,
+                            arena,
                             track,
-                            &mut scratch,
+                            scratch,
                             &mut stats,
                         );
                     }
@@ -191,12 +258,13 @@ impl<'a> Solver<'a> {
             .expect("root is processed last");
         stats.root_list_len = root_list.len();
         let driver = tree.driver();
-        let best = root_list
+        let best = *root_list
             .best_driven(
                 driver.resistance().value(),
                 driver.intrinsic_delay().value(),
             )
             .expect("candidate lists are never empty");
+        scratch.pool.recycle(root_list);
 
         let placements = if track {
             arena
@@ -357,6 +425,45 @@ mod tests {
             .algorithm(Algorithm::LiShiPermanent)
             .solve();
         assert!(p.slack.picos() <= a.slack.picos() + 1e-6);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let lib = paper_lib(8);
+        let mut ws = SolveWorkspace::new();
+        // Mixed shapes and sizes through one workspace, interleaved with
+        // fresh solves: every pair must agree exactly, including the
+        // reconstruction (PredRefs are arena-relative and the arena is
+        // cleared per solve).
+        for (mm, sites, rat) in [(10.0, 9, 2000.0), (3.0, 2, 700.0), (6.0, 25, 1500.0)] {
+            let tree = two_pin_line(mm, sites, rat);
+            let reused = Solver::new(&tree, &lib).solve_with(&mut ws);
+            let fresh = Solver::new(&tree, &lib).solve();
+            assert_eq!(reused.slack, fresh.slack);
+            assert_eq!(reused.placements, fresh.placements);
+            assert_eq!(reused.stats.arena_entries, fresh.stats.arena_entries);
+            reused.verify(&tree, &lib).unwrap();
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_on_branchy_nets() {
+        let lib = paper_lib(16);
+        let mut ws = SolveWorkspace::new();
+        for seed in 1u64..5 {
+            let tree = fastbuf_netgen::RandomNetSpec {
+                sinks: 24,
+                seed,
+                ..fastbuf_netgen::RandomNetSpec::default()
+            }
+            .build();
+            for algo in Algorithm::ALL {
+                let reused = Solver::new(&tree, &lib).algorithm(algo).solve_with(&mut ws);
+                let fresh = Solver::new(&tree, &lib).algorithm(algo).solve();
+                assert_eq!(reused.slack, fresh.slack, "{algo} seed {seed}");
+                assert_eq!(reused.placements, fresh.placements, "{algo} seed {seed}");
+            }
+        }
     }
 
     #[test]

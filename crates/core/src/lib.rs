@@ -57,13 +57,14 @@ mod engine;
 mod hull;
 mod merge;
 pub mod polarity;
+mod pool;
 mod solution;
 mod stats;
 
 pub use arena::{PredArena, PredEntry, PredRef};
 pub use buffering::Algorithm;
 pub use candidate::{Candidate, CandidateList};
-pub use engine::{Solver, SolverOptions};
+pub use engine::{SolveWorkspace, Solver, SolverOptions};
 pub use hull::{convex_prune_in_place, prunes_middle, upper_hull_into};
 pub use merge::merge_branches;
 pub use solution::{Placement, Solution, VerifyError};

@@ -16,6 +16,7 @@
 
 use crate::arena::{PredArena, PredEntry};
 use crate::candidate::{Candidate, CandidateList};
+use crate::pool::CandidatePool;
 
 /// Merges two branch candidate lists. `arena` receives one
 /// [`PredEntry::Merge`] per emitted candidate when `track` is set.
@@ -25,15 +26,31 @@ pub fn merge_branches(
     arena: &mut PredArena,
     track: bool,
 ) -> CandidateList {
+    let mut pool = CandidatePool::default();
+    merge_branches_pooled(left, right, arena, track, &mut pool)
+}
+
+/// [`merge_branches`] with recycled storage: scratch and output vectors are
+/// drawn from `pool`, and the spent input lists are returned to it.
+pub(crate) fn merge_branches_pooled(
+    left: CandidateList,
+    right: CandidateList,
+    arena: &mut PredArena,
+    track: bool,
+    pool: &mut CandidatePool,
+) -> CandidateList {
     let l = left.as_slice();
     let r = right.as_slice();
     if l.is_empty() {
+        pool.recycle(left);
         return right;
     }
     if r.is_empty() {
+        pool.recycle(right);
         return left;
     }
-    let mut raw: Vec<Candidate> = Vec::with_capacity(l.len() + r.len());
+    let mut raw: Vec<Candidate> = pool.take();
+    raw.reserve(l.len() + r.len());
     let (mut i, mut j) = (0usize, 0usize);
     // Invariant: all of l[..i] have q < r[j].q and all of r[..j] have
     // q < l[i].q, i.e. the current partner on the other side is the
@@ -65,8 +82,9 @@ pub fn merge_branches(
 
     // The raw sequence is q-nondecreasing with arbitrary c; prune with a
     // monotone stack.
-    let mut out: Vec<Candidate> = Vec::with_capacity(raw.len());
-    for cand in raw {
+    let mut out: Vec<Candidate> = pool.take();
+    out.reserve(raw.len());
+    for &cand in &raw {
         if let Some(top) = out.last() {
             if cand.q == top.q && cand.c >= top.c {
                 continue; // dominated by the stack top
@@ -77,6 +95,9 @@ pub fn merge_branches(
         }
         out.push(cand);
     }
+    pool.put(raw);
+    pool.recycle(left);
+    pool.recycle(right);
     CandidateList::from_sorted(out)
 }
 

@@ -1,0 +1,91 @@
+//! Recycling pool for candidate vectors.
+//!
+//! Every DP operation that produces a *new* candidate list (sink
+//! initialization, branch merging, beta insertion) needs a fresh
+//! `Vec<Candidate>`. A single solve allocates O(n) of them; a batch run over
+//! thousands of nets would hammer the allocator with short-lived vectors of
+//! nearly identical size. [`CandidatePool`] is a trivial freelist: spent
+//! vectors go back in, new lists draw capacity out, and after the first net
+//! warms a worker up, subsequent solves run allocation-free in the steady
+//! state. The pool lives inside
+//! [`SolveWorkspace`](crate::SolveWorkspace), one per batch worker.
+
+use crate::candidate::{Candidate, CandidateList};
+
+/// A freelist of `Vec<Candidate>` allocations, reused across DP operations
+/// and across solves.
+///
+/// Vectors handed out by [`CandidatePool::take`] are always empty but keep
+/// the capacity of their previous life, so a solver that repeatedly builds
+/// lists of similar size stops allocating once warm.
+#[derive(Debug, Default)]
+pub(crate) struct CandidatePool {
+    free: Vec<Vec<Candidate>>,
+}
+
+impl CandidatePool {
+    /// Takes an empty vector, reusing a recycled allocation when available.
+    #[inline]
+    pub(crate) fn take(&mut self) -> Vec<Candidate> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent vector to the pool. Zero-capacity vectors are
+    /// dropped — they carry no allocation worth keeping.
+    #[inline]
+    pub(crate) fn put(&mut self, mut v: Vec<Candidate>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.free.push(v);
+        }
+    }
+
+    /// Recycles a whole candidate list's backing storage.
+    #[inline]
+    pub(crate) fn recycle(&mut self, list: CandidateList) {
+        self.put(list.into_vec());
+    }
+
+    /// Number of vectors currently parked in the pool (test hook).
+    #[cfg(test)]
+    pub(crate) fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::PredRef;
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut pool = CandidatePool::default();
+        let mut v = pool.take();
+        assert_eq!(v.capacity(), 0);
+        v.reserve(64);
+        let cap = v.capacity();
+        v.push(Candidate::new(1.0, 1.0, PredRef::NONE));
+        pool.put(v);
+        assert_eq!(pool.parked(), 1);
+        let v2 = pool.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_vectors_are_dropped() {
+        let mut pool = CandidatePool::default();
+        pool.put(Vec::new());
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn recycle_extracts_list_storage() {
+        let mut pool = CandidatePool::default();
+        let list = CandidateList::sink(1.0, 2.0, PredRef::NONE);
+        pool.recycle(list);
+        assert_eq!(pool.parked(), 1);
+    }
+}

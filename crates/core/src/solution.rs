@@ -32,6 +32,28 @@ impl fmt::Display for Placement {
 }
 
 /// The result of a [`Solver::solve`](crate::Solver::solve).
+///
+/// # Example
+///
+/// ```
+/// use fastbuf_buflib::units::Microns;
+/// use fastbuf_buflib::BufferLibrary;
+/// use fastbuf_core::Solver;
+///
+/// let lib = BufferLibrary::paper_synthetic(8)?;
+/// let tree = fastbuf_netgen::line_net(Microns::new(10_000.0), 9);
+/// let solution = Solver::new(&tree, &lib).solve();
+///
+/// // The DP's slack prediction, the reconstructed buffer placements, and
+/// // their total library cost:
+/// assert!(!solution.placements.is_empty());
+/// assert!(solution.total_cost(&lib) > 0.0);
+/// // `verify` re-measures the placements with the independent forward
+/// // Elmore evaluator and errors on any mismatch:
+/// let measured = solution.verify(&tree, &lib)?;
+/// assert!((measured.picos() - solution.slack.picos()).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct Solution {
     /// Slack at the source including the driver delay:

@@ -44,7 +44,7 @@ use crossbeam::channel;
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_core::{Algorithm, Solver};
-use fastbuf_netgen::RandomNetSpec;
+use fastbuf_netgen::SuiteSpec;
 use fastbuf_rctree::{elmore, RoutingTree};
 
 /// One net of a design.
@@ -124,33 +124,18 @@ impl DesignSpec {
     /// Panics if `nets == 0` or `max_sinks < 8`.
     pub fn build(&self) -> Design {
         assert!(self.nets > 0, "a design needs at least one net");
-        assert!(self.max_sinks >= 8, "max_sinks must be at least 8");
+        // The size mix and per-net construction are shared with
+        // `fastbuf_netgen::SuiteSpec`, so designs and batch suites built
+        // from the same parameters contain the same nets.
+        let suite = SuiteSpec {
+            nets: self.nets,
+            max_sinks: self.max_sinks,
+            site_pitch: self.site_pitch,
+            seed: self.seed,
+        };
         let mut design = Design::new();
         for i in 0..self.nets {
-            let seed = self.seed.wrapping_add(i as u64);
-            // Cheap deterministic size draw (SplitMix-style hash of seed).
-            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            let u = ((z >> 11) as f64) / (1u64 << 53) as f64;
-            let sinks = if u < 0.70 {
-                2 + (u / 0.70 * 7.0) as usize
-            } else if u < 0.95 {
-                9 + ((u - 0.70) / 0.25 * 55.0) as usize
-            } else {
-                let tail_span = self.max_sinks.saturating_sub(65).max(1);
-                65 + ((u - 0.95) / 0.05 * tail_span as f64) as usize
-            }
-            .min(self.max_sinks);
-            let tree = RandomNetSpec {
-                sinks,
-                seed,
-                site_pitch: Some(self.site_pitch),
-                die: Microns::new(400.0 + 120.0 * (sinks as f64).sqrt()),
-                ..RandomNetSpec::default()
-            }
-            .build();
-            design.push(format!("net{i:05}"), tree);
+            design.push(format!("net{i:05}"), suite.build_net(i));
         }
         design
     }

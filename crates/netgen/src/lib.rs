@@ -13,7 +13,9 @@
 //!   count, with paper-matched sink loads and technology constants
 //!   ([`RandomNetSpec::paper`] presets the three table rows);
 //! * [`caterpillar_net`] — a trunk with periodic sink stubs (bus-like);
-//! * [`h_tree`] — symmetric clock-style H-trees.
+//! * [`h_tree`] — symmetric clock-style H-trees;
+//! * [`SuiteSpec`] — whole *fleets* of nets with a realistic heavy-tailed
+//!   size mix, for the batch subsystem and throughput benchmarks.
 //!
 //! Everything is seeded and deterministic: the same spec always builds the
 //! same net, so benchmark tables are reproducible run to run.
@@ -32,7 +34,9 @@
 mod clock;
 mod line;
 mod random;
+mod suite;
 
 pub use clock::{caterpillar_net, h_tree, HTreeSpec};
 pub use line::{line_net, LineNetSpec};
 pub use random::{RandomNetSpec, RatPolicy};
+pub use suite::{heavy_tailed_sinks, SuiteSpec};

@@ -1,0 +1,195 @@
+//! Reproducible multi-net suites for batch and load testing.
+//!
+//! Single-net generators answer "how fast is one solve?"; the batch
+//! subsystem (`fastbuf-batch`) and its throughput benchmarks need *fleets*
+//! of nets whose size distribution looks like a real netlist: mostly small
+//! nets, a heavy tail of large buses and spines that dominate the runtime.
+//! [`SuiteSpec`] builds such a fleet deterministically — the same spec
+//! always produces the same nets, on every platform — so batch results and
+//! nets/sec numbers are reproducible run to run.
+//!
+//! ```
+//! use fastbuf_netgen::SuiteSpec;
+//!
+//! let suite = SuiteSpec { nets: 20, seed: 7, ..SuiteSpec::default() }.build();
+//! assert_eq!(suite.len(), 20);
+//! // Deterministic: rebuilding yields byte-identical nets.
+//! let again = SuiteSpec { nets: 20, seed: 7, ..SuiteSpec::default() }.build();
+//! assert_eq!(
+//!     fastbuf_rctree::io::write(&suite[3]),
+//!     fastbuf_rctree::io::write(&again[3]),
+//! );
+//! ```
+
+use fastbuf_buflib::units::Microns;
+use fastbuf_rctree::RoutingTree;
+
+use crate::random::RandomNetSpec;
+
+/// Draws a heavy-tailed sink count from `seed`: ~70% small nets (2–8
+/// sinks), ~25% medium (9–64), ~5% large (65–`max_sinks`) — the shape of
+/// real netlists, where a few big buses and clock spines dominate the
+/// runtime. Deterministic (SplitMix64 hash of the seed).
+pub fn heavy_tailed_sinks(seed: u64, max_sinks: usize) -> usize {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    let u = ((z >> 11) as f64) / (1u64 << 53) as f64;
+    let sinks = if u < 0.70 {
+        2 + (u / 0.70 * 7.0) as usize
+    } else if u < 0.95 {
+        9 + ((u - 0.70) / 0.25 * 55.0) as usize
+    } else {
+        let tail_span = max_sinks.saturating_sub(65).max(1);
+        65 + ((u - 0.95) / 0.05 * tail_span as f64) as usize
+    };
+    sinks.min(max_sinks)
+}
+
+/// Specification of a deterministic net suite.
+///
+/// Net `i` is a [`RandomNetSpec`] seeded with `seed + i` whose sink count
+/// is drawn by [`heavy_tailed_sinks`] and whose die grows with `√sinks`, so
+/// wire lengths (and therefore buffer-site counts) stay realistic across
+/// the size range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuiteSpec {
+    /// Number of nets in the suite.
+    pub nets: usize,
+    /// Largest net the heavy tail can produce.
+    pub max_sinks: usize,
+    /// Buffer-site pitch used for every net.
+    pub site_pitch: Microns,
+    /// Master seed; net `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for SuiteSpec {
+    fn default() -> Self {
+        SuiteSpec {
+            nets: 100,
+            max_sinks: 256,
+            site_pitch: Microns::new(200.0),
+            seed: 1,
+        }
+    }
+}
+
+impl SuiteSpec {
+    /// The sink count net `i` will have.
+    pub fn sinks_of(&self, i: usize) -> usize {
+        heavy_tailed_sinks(self.seed.wrapping_add(i as u64), self.max_sinks)
+    }
+
+    /// Builds net `i` of the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nets` or `max_sinks < 8`.
+    pub fn build_net(&self, i: usize) -> RoutingTree {
+        assert!(i < self.nets, "net index {i} out of range ({})", self.nets);
+        assert!(self.max_sinks >= 8, "max_sinks must be at least 8");
+        let seed = self.seed.wrapping_add(i as u64);
+        let sinks = self.sinks_of(i);
+        RandomNetSpec {
+            sinks,
+            seed,
+            site_pitch: Some(self.site_pitch),
+            die: Microns::new(400.0 + 120.0 * (sinks as f64).sqrt()),
+            ..RandomNetSpec::default()
+        }
+        .build()
+    }
+
+    /// Builds the whole suite, in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets == 0` or `max_sinks < 8`.
+    pub fn build(&self) -> Vec<RoutingTree> {
+        assert!(self.nets > 0, "a suite needs at least one net");
+        (0..self.nets).map(|i| self.build_net(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SuiteSpec {
+            nets: 8,
+            seed: 11,
+            ..SuiteSpec::default()
+        };
+        let a = spec.build();
+        let b = spec.build();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(fastbuf_rctree::io::write(x), fastbuf_rctree::io::write(y));
+        }
+        let c = SuiteSpec {
+            nets: 8,
+            seed: 12,
+            ..SuiteSpec::default()
+        }
+        .build();
+        assert_ne!(
+            fastbuf_rctree::io::write(&a[0]),
+            fastbuf_rctree::io::write(&c[0])
+        );
+    }
+
+    #[test]
+    fn sizes_follow_the_mix() {
+        let spec = SuiteSpec {
+            nets: 300,
+            max_sinks: 128,
+            seed: 7,
+            ..SuiteSpec::default()
+        };
+        let sizes: Vec<usize> = (0..spec.nets).map(|i| spec.sinks_of(i)).collect();
+        let small = sizes.iter().filter(|&&s| s <= 8).count();
+        let large = sizes.iter().filter(|&&s| s >= 65).count();
+        assert!(small > 150, "most nets should be small: {small}");
+        assert!(large >= 3, "the tail should exist: {large}");
+        assert!(sizes.iter().all(|&s| s <= 128));
+    }
+
+    #[test]
+    fn build_net_matches_build() {
+        let spec = SuiteSpec {
+            nets: 5,
+            seed: 3,
+            ..SuiteSpec::default()
+        };
+        let all = spec.build();
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(
+                fastbuf_rctree::io::write(t),
+                fastbuf_rctree::io::write(&spec.build_net(i))
+            );
+            assert_eq!(t.sink_count(), spec.sinks_of(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one net")]
+    fn empty_suite_panics() {
+        let _ = SuiteSpec {
+            nets: 0,
+            ..SuiteSpec::default()
+        }
+        .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_net_panics() {
+        let spec = SuiteSpec {
+            nets: 2,
+            ..SuiteSpec::default()
+        };
+        let _ = spec.build_net(2);
+    }
+}

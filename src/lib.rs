@@ -23,7 +23,8 @@
 //! | [`buflib`] | `fastbuf-buflib` | units, buffers, libraries, technology, clustering |
 //! | [`rctree`] | `fastbuf-rctree` | routing trees, Elmore evaluation, segmenting, net files |
 //! | (root) | `fastbuf-core` | the solvers themselves |
-//! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets at the paper's scales |
+//! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets and suites at the paper's scales |
+//! | [`batch`] | `fastbuf-batch` | parallel batch solving of net fleets over a worker pool |
 //!
 //! # Quick start
 //!
@@ -47,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+pub use fastbuf_batch as batch;
 pub use fastbuf_buflib as buflib;
 pub use fastbuf_design as design;
 pub use fastbuf_netgen as netgen;
@@ -56,19 +58,20 @@ pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
-    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, SolveStats, Solver,
-    SolverOptions, VerifyError,
+    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, SolveStats, SolveWorkspace,
+    Solver, SolverOptions, VerifyError,
 };
 
 /// One-stop imports for applications: solver, library, tree-building and
 /// unit types.
 pub mod prelude {
+    pub use fastbuf_batch::{BatchOptions, BatchReport, BatchSolver};
     pub use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
     pub use fastbuf_buflib::{
         BufferLibrary, BufferSet, BufferType, BufferTypeId, Driver, Technology,
     };
     pub use fastbuf_core::cost::CostSolver;
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
-    pub use fastbuf_core::{Algorithm, Solution, Solver};
+    pub use fastbuf_core::{Algorithm, Solution, SolveWorkspace, Solver};
     pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
 }
