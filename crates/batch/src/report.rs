@@ -20,6 +20,13 @@ pub struct NetOutcome {
     pub slack_before: Seconds,
     /// Optimal slack after buffering.
     pub slack: Seconds,
+    /// Worst forward-propagated output slew before buffering.
+    pub slew_before: Seconds,
+    /// Worst forward-propagated output slew of the solved net (the DP's
+    /// root-stage slew when predecessor tracking was off).
+    pub max_slew: Seconds,
+    /// `false` when a slew limit was set and this net could not meet it.
+    pub slew_ok: bool,
     /// The buffers to insert (empty when predecessor tracking was off).
     pub placements: Vec<Placement>,
     /// Total cost of the inserted buffers.
@@ -41,6 +48,14 @@ pub struct BatchReport {
     pub algorithm: Algorithm,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Name of the delay model every net was solved with.
+    pub delay_model: &'static str,
+    /// The per-net slew limit in force (`None` = unconstrained).
+    pub slew_limit: Option<Seconds>,
+    /// Worst [`NetOutcome::max_slew`] across the batch.
+    pub worst_slew: Seconds,
+    /// Number of nets that could not meet the slew limit.
+    pub slew_violations: usize,
     /// Worst net slack before buffering.
     pub wns_before: Seconds,
     /// Worst net slack after buffering.
@@ -63,12 +78,18 @@ impl BatchReport {
         outcomes: Vec<NetOutcome>,
         algorithm: Algorithm,
         workers: usize,
+        delay_model: &'static str,
+        slew_limit: Option<Seconds>,
         elapsed: Duration,
     ) -> Self {
         let mut report = BatchReport {
             outcomes,
             algorithm,
             workers,
+            delay_model,
+            slew_limit,
+            worst_slew: Seconds::ZERO,
+            slew_violations: 0,
             wns_before: Seconds::new(f64::INFINITY),
             wns_after: Seconds::new(f64::INFINITY),
             tns_before: Seconds::ZERO,
@@ -84,6 +105,8 @@ impl BatchReport {
             report.tns_after += o.slack.min(Seconds::ZERO);
             report.total_buffers += o.placements.len();
             report.total_cost += o.cost;
+            report.worst_slew = report.worst_slew.max(o.max_slew);
+            report.slew_violations += usize::from(!o.slew_ok);
         }
         report
     }
@@ -115,6 +138,23 @@ impl BatchReport {
             json_str(self.algorithm.name())
         ));
         s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!(
+            "  \"delay_model\": {},\n",
+            json_str(self.delay_model)
+        ));
+        s.push_str(&format!(
+            "  \"slew_limit_ps\": {},\n",
+            self.slew_limit
+                .map_or("null".to_owned(), |l| json_f64(l.picos()))
+        ));
+        s.push_str(&format!(
+            "  \"worst_slew_ps\": {},\n",
+            json_f64(self.worst_slew.picos())
+        ));
+        s.push_str(&format!(
+            "  \"slew_violations\": {},\n",
+            self.slew_violations
+        ));
         s.push_str(&format!(
             "  \"elapsed_ms\": {},\n",
             json_f64(self.elapsed.as_secs_f64() * 1e3)
@@ -167,6 +207,18 @@ impl BatchReport {
                 "\"slack_after_ps\": {}, ",
                 json_f64(o.slack.picos())
             ));
+            s.push_str(&format!(
+                "\"slew_before_ps\": {}, ",
+                json_f64(o.slew_before.picos())
+            ));
+            s.push_str(&format!(
+                "\"max_slew_ps\": {}, ",
+                json_f64(o.max_slew.picos())
+            ));
+            s.push_str(&format!(
+                "\"slew_ok\": {}, ",
+                if o.slew_ok { "true" } else { "false" }
+            ));
             s.push_str(&format!("\"buffers\": {}, ", o.placements.len()));
             s.push_str(&format!("\"cost\": {}, ", json_f64(o.cost)));
             s.push_str(&format!(
@@ -202,7 +254,7 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nets on {} workers in {:.1} ms ({:.0} nets/s): WNS {} -> {}, {} buffers (cost {:.0})",
+            "{} nets on {} workers in {:.1} ms ({:.0} nets/s): WNS {} -> {}, {} buffers (cost {:.0}), worst slew {}{}",
             self.outcomes.len(),
             self.workers,
             self.elapsed.as_secs_f64() * 1e3,
@@ -211,6 +263,13 @@ impl fmt::Display for BatchReport {
             self.wns_after,
             self.total_buffers,
             self.total_cost,
+            self.worst_slew,
+            match self.slew_limit {
+                Some(l) if self.slew_violations > 0 =>
+                    format!(" ({} nets over the {} limit)", self.slew_violations, l),
+                Some(l) => format!(" (all within the {} limit)", l),
+                None => String::new(),
+            },
         )
     }
 }
@@ -269,7 +328,14 @@ mod tests {
 
     #[test]
     fn empty_report_aggregates() {
-        let r = BatchReport::from_outcomes(Vec::new(), Algorithm::LiShi, 1, Duration::ZERO);
+        let r = BatchReport::from_outcomes(
+            Vec::new(),
+            Algorithm::LiShi,
+            1,
+            "elmore",
+            None,
+            Duration::ZERO,
+        );
         assert_eq!(r.total_buffers, 0);
         assert_eq!(r.outcomes.len(), 0);
         let json = r.to_json(None, false);

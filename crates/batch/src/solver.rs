@@ -1,18 +1,20 @@
 //! The worker-pool batch solver.
 
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel;
 
+use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::BufferLibrary;
-use fastbuf_core::{Algorithm, SolveWorkspace, Solver, SolverOptions};
+use fastbuf_core::{Algorithm, DelayModel, ElmoreModel, SolveWorkspace, Solver, SolverOptions};
 use fastbuf_rctree::{elmore, RoutingTree};
 
 use crate::report::{BatchReport, NetOutcome};
 
 /// Configuration of a [`BatchSolver`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchOptions {
     /// The per-net algorithm (default [`Algorithm::LiShi`]).
     pub algorithm: Algorithm,
@@ -22,6 +24,11 @@ pub struct BatchOptions {
     /// Record predecessor information so placements can be reconstructed
     /// (default `true`). Disable for pure throughput measurements.
     pub track_predecessors: bool,
+    /// Wire-delay/slew model applied to every net (default
+    /// [`ElmoreModel`]).
+    pub delay_model: Arc<dyn DelayModel>,
+    /// Optional per-net maximum output slew (default `None`).
+    pub slew_limit: Option<Seconds>,
 }
 
 impl Default for BatchOptions {
@@ -30,6 +37,8 @@ impl Default for BatchOptions {
             algorithm: Algorithm::default(),
             workers: None,
             track_predecessors: true,
+            delay_model: Arc::new(ElmoreModel),
+            slew_limit: None,
         }
     }
 }
@@ -109,6 +118,21 @@ impl<'a> BatchSolver<'a> {
         self
     }
 
+    /// Selects the wire-delay/slew model for every net.
+    #[must_use]
+    pub fn delay_model(mut self, model: Arc<dyn DelayModel>) -> Self {
+        self.options.delay_model = model;
+        self
+    }
+
+    /// Sets (or, with a non-finite value, clears) the per-net maximum
+    /// output slew.
+    #[must_use]
+    pub fn slew_limit(mut self, limit: Seconds) -> Self {
+        self.options.slew_limit = limit.is_finite().then_some(limit);
+        self
+    }
+
     /// Solves every net and returns the aggregated report, with per-net
     /// outcomes in input order.
     pub fn solve(&self) -> BatchReport {
@@ -118,6 +142,8 @@ impl<'a> BatchSolver<'a> {
         let solver_options = SolverOptions {
             algorithm: self.options.algorithm,
             track_predecessors: self.options.track_predecessors,
+            delay_model: Arc::clone(&self.options.delay_model),
+            slew_limit: self.options.slew_limit,
         };
         let workers = self
             .options
@@ -149,17 +175,35 @@ impl<'a> BatchSolver<'a> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let rx = rx.clone();
+                    let solver_options = solver_options.clone();
                     scope.spawn(move || {
+                        let model: &dyn DelayModel = &*solver_options.delay_model;
                         let mut workspace = SolveWorkspace::new();
                         let mut local: Vec<(usize, NetOutcome)> = Vec::new();
                         while let Ok(i) = rx.recv() {
                             let tree = &nets[i];
                             let t0 = Instant::now();
-                            let before = elmore::evaluate(tree, library, &[])
+                            let before = elmore::evaluate_with(tree, library, &[], model)
                                 .expect("the empty placement is always legal");
                             let solution = Solver::new(tree, library)
-                                .with_options(solver_options)
+                                .with_options(solver_options.clone())
                                 .solve_with(&mut workspace);
+                            // Ground-truth worst slew of the solved net: a
+                            // forward evaluation of the reconstructed
+                            // placements (falls back to the DP's root-stage
+                            // slew when tracking is off).
+                            let max_slew = if solution.tracked {
+                                elmore::evaluate_with(
+                                    tree,
+                                    library,
+                                    &solution.placement_pairs(),
+                                    model,
+                                )
+                                .expect("reconstructed placements are legal")
+                                .max_slew
+                            } else {
+                                solution.root_slew
+                            };
                             local.push((
                                 i,
                                 NetOutcome {
@@ -169,6 +213,9 @@ impl<'a> BatchSolver<'a> {
                                     slack_before: before.slack,
                                     slack: solution.slack,
                                     cost: solution.total_cost(library),
+                                    slew_before: before.max_slew,
+                                    max_slew,
+                                    slew_ok: solution.slew_ok,
                                     placements: solution.placements,
                                     stats: solution.stats,
                                     elapsed: t0.elapsed(),
@@ -190,6 +237,13 @@ impl<'a> BatchSolver<'a> {
             .into_iter()
             .map(|o| o.expect("every queued net was solved"))
             .collect();
-        BatchReport::from_outcomes(outcomes, self.options.algorithm, workers, start.elapsed())
+        BatchReport::from_outcomes(
+            outcomes,
+            self.options.algorithm,
+            workers,
+            self.options.delay_model.name(),
+            self.options.slew_limit,
+            start.elapsed(),
+        )
     }
 }

@@ -28,10 +28,15 @@ fn assert_reports_identical(a: &BatchReport, b: &BatchReport) {
         assert_eq!(x.slack_before, y.slack_before, "net {}", x.index);
         assert_eq!(x.placements, y.placements, "net {}", x.index);
         assert_eq!(x.cost, y.cost, "net {}", x.index);
+        assert_eq!(x.slew_before, y.slew_before, "net {}", x.index);
+        assert_eq!(x.max_slew, y.max_slew, "net {}", x.index);
+        assert_eq!(x.slew_ok, y.slew_ok, "net {}", x.index);
     }
     assert_eq!(a.wns_after, b.wns_after);
     assert_eq!(a.tns_after, b.tns_after);
     assert_eq!(a.total_buffers, b.total_buffers);
+    assert_eq!(a.worst_slew, b.worst_slew);
+    assert_eq!(a.slew_violations, b.slew_violations);
 }
 
 #[test]
@@ -152,4 +157,69 @@ fn empty_batch_is_empty_report() {
     let report = BatchSolver::new(&nets, &lib).solve();
     assert!(report.outcomes.is_empty());
     assert_eq!(report.total_buffers, 0);
+}
+
+#[test]
+fn slew_constrained_batch_matches_sequential_and_reports_slews() {
+    use fastbuf_buflib::units::Seconds;
+    let nets = suite(16, 4);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let limit = Seconds::from_pico(250.0);
+    let report = BatchSolver::new(&nets, &lib)
+        .workers(3)
+        .slew_limit(limit)
+        .solve();
+    assert_eq!(report.slew_limit, Some(limit));
+    assert_eq!(report.delay_model, "elmore");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let solo = Solver::new(&nets[i], &lib).slew_limit(limit).solve();
+        assert_eq!(o.slack, solo.slack, "net {i}");
+        assert_eq!(o.placements, solo.placements, "net {i}");
+        assert_eq!(o.slew_ok, solo.slew_ok, "net {i}");
+        // The reported slew is the forward-evaluated ground truth and must
+        // honour the limit whenever the net is feasible.
+        if o.slew_ok {
+            assert!(
+                o.max_slew.value() <= limit.value() * (1.0 + 1e-9),
+                "net {i}: {} over {}",
+                o.max_slew,
+                limit
+            );
+        }
+        assert!(o.slew_before >= Seconds::ZERO);
+    }
+    assert_eq!(
+        report.slew_violations,
+        report.outcomes.iter().filter(|o| !o.slew_ok).count()
+    );
+    // The JSON report carries the slew columns.
+    let json = report.to_json(None, false);
+    for key in [
+        "\"slew_limit_ps\"",
+        "\"worst_slew_ps\"",
+        "\"slew_violations\"",
+        "\"max_slew_ps\"",
+        "\"slew_ok\"",
+        "\"delay_model\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn scaled_model_batch_is_deterministic_across_workers() {
+    use fastbuf_core::ScaledElmoreModel;
+    use std::sync::Arc;
+    let nets = suite(12, 8);
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let mk = |workers| {
+        BatchSolver::new(&nets, &lib)
+            .workers(workers)
+            .delay_model(Arc::new(ScaledElmoreModel::default()))
+            .solve()
+    };
+    let a = mk(1);
+    let b = mk(4);
+    assert_eq!(a.delay_model, "scaled-elmore");
+    assert_reports_identical(&a, &b);
 }

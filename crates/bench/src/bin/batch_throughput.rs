@@ -8,7 +8,8 @@
 //! honestly together with the machine's available parallelism.
 //!
 //! Run: `cargo run --release -p fastbuf-bench --bin batch_throughput --
-//!       [--nets N] [--max-sinks M] [--seed S] [--repeats K] [--out FILE]`
+//!       [--nets N] [--max-sinks M] [--seed S] [--repeats K] [--out FILE]
+//!       [--quick]`
 
 use std::time::Duration;
 
@@ -30,7 +31,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: batch_throughput [--nets N] [--max-sinks M] [--seed S] [--repeats K] [--out FILE]"
+        "usage: batch_throughput [--nets N] [--max-sinks M] [--seed S] [--repeats K] [--out FILE] [--quick]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -68,6 +69,12 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| usage("bad --repeats"))
             }
             "--out" => opts.out = next("--out needs a value"),
+            "--quick" => {
+                // CI smoke size: run the real pipeline in seconds.
+                opts.nets = 16;
+                opts.max_sinks = 24;
+                opts.repeats = 1;
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }

@@ -13,9 +13,12 @@
 //! | `clustering_quality` | library clustering (Alpert et al.) quality loss vs solving the full library |
 //! | `cost_frontier` | slack-vs-cost Pareto frontier (the paper's cost extension) |
 //! | `batch_throughput` | nets/sec of the `fastbuf-batch` worker pool at 1/2/4/8 workers (writes `BENCH_batch.json`) |
+//! | `slew_sweep` | slack / buffer-count / feasibility trade-off vs the per-net slew limit (writes `BENCH_slew.json`) |
 //!
 //! Every harness accepts `--scale <f>` (shrink sink counts for quick runs;
 //! default 0.25) or `--full` (exact paper sizes), plus `--repeats <k>`.
+//! The JSON-recording harnesses (`batch_throughput`, `slew_sweep`) accept
+//! `--quick` instead, a seconds-scale smoke size used by CI.
 //! Criterion micro-benchmarks for the individual DP operations live in
 //! `benches/`.
 

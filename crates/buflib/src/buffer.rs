@@ -65,6 +65,7 @@ pub struct BufferType {
     intrinsic_delay: Seconds,
     cost: f64,
     max_load: Option<Farads>,
+    output_slew: Seconds,
     inverting: bool,
 }
 
@@ -87,8 +88,20 @@ impl BufferType {
             intrinsic_delay,
             cost: 1.0,
             max_load: None,
+            output_slew: Seconds::ZERO,
             inverting: false,
         }
+    }
+
+    /// Sets the intrinsic output slew of this buffer — the transition time
+    /// its output exhibits even when unloaded. Slew-constrained solving
+    /// adds it to the `ln 9`-scaled stage delay when checking candidates
+    /// driven by this type (see `fastbuf_rctree::delay`). Returns `self`
+    /// for chaining.
+    #[must_use]
+    pub fn with_output_slew(mut self, output_slew: Seconds) -> Self {
+        self.output_slew = output_slew;
+        self
     }
 
     /// Marks this type as an inverter (its output has opposite polarity to
@@ -151,6 +164,13 @@ impl BufferType {
     #[inline]
     pub fn max_load(&self) -> Option<Farads> {
         self.max_load
+    }
+
+    /// Intrinsic output slew (zero unless set with
+    /// [`BufferType::with_output_slew`]).
+    #[inline]
+    pub fn output_slew(&self) -> Seconds {
+        self.output_slew
     }
 
     /// `true` if this type inverts signal polarity.
@@ -281,6 +301,13 @@ mod tests {
     fn default_cost_is_one_and_no_max_load() {
         assert_eq!(buf().cost(), 1.0);
         assert_eq!(buf().max_load(), None);
+        assert_eq!(buf().output_slew(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn output_slew_setter() {
+        let b = buf().with_output_slew(Seconds::from_pico(12.0));
+        assert_eq!(b.output_slew(), Seconds::from_pico(12.0));
     }
 
     #[test]

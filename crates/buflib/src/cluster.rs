@@ -74,7 +74,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
         .min_by(|&a, &b| {
             let sa: f64 = (0..n).map(|j| dist(a, j)).sum();
             let sb: f64 = (0..n).map(|j| dist(b, j)).sum();
-            sa.partial_cmp(&sb).unwrap().then(a.cmp(&b))
+            sa.total_cmp(&sb).then(a.cmp(&b))
         })
         .expect("library is non-empty");
     medoids.push(first);
@@ -92,7 +92,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
                     .iter()
                     .map(|&m| dist(b, m))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap().then(b.cmp(&a))
+                da.total_cmp(&db).then(b.cmp(&a))
             })
             .expect("fewer medoids than points");
         medoids.push(next);
@@ -106,8 +106,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
             let best = (0..k)
                 .min_by(|&a, &b| {
                     dist(i, medoids[a])
-                        .partial_cmp(&dist(i, medoids[b]))
-                        .unwrap()
+                        .total_cmp(&dist(i, medoids[b]))
                         .then(a.cmp(&b))
                 })
                 .unwrap();
@@ -128,7 +127,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
                 .min_by(|&a, &b| {
                     let sa: f64 = members.iter().map(|&j| dist(a, j)).sum();
                     let sb: f64 = members.iter().map(|&j| dist(b, j)).sum();
-                    sa.partial_cmp(&sb).unwrap().then(a.cmp(&b))
+                    sa.total_cmp(&sb).then(a.cmp(&b))
                 })
                 .unwrap();
         }
@@ -144,7 +143,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
             lib.get(BufferTypeId::new(a)).driving_resistance(),
             lib.get(BufferTypeId::new(b)).driving_resistance(),
         );
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        rb.value().total_cmp(&ra.value()).then(a.cmp(&b))
     });
     // Re-map assignments to the sorted representative order.
     let pos_of: Vec<usize> = {
@@ -161,7 +160,7 @@ pub fn cluster_library(lib: &BufferLibrary, k: usize) -> Result<ClusterResult, L
         *slot = medoids
             .iter()
             .enumerate()
-            .min_by(|(_, &ma), (_, &mb)| dist(i, ma).partial_cmp(&dist(i, mb)).unwrap())
+            .min_by(|(_, &ma), (_, &mb)| dist(i, ma).total_cmp(&dist(i, mb)))
             .map(|(pos, _)| pos)
             .unwrap();
         // Medoids always belong to their own cluster.

@@ -32,6 +32,11 @@ pub enum LibraryError {
         /// Name of the offending buffer type.
         buffer: String,
     },
+    /// Intrinsic output slew must be non-negative.
+    NegativeOutputSlew {
+        /// Name of the offending buffer type.
+        buffer: String,
+    },
     /// Buffer cost must be non-negative and finite.
     InvalidCost {
         /// Name of the offending buffer type.
@@ -66,6 +71,9 @@ impl fmt::Display for LibraryError {
             }
             LibraryError::NegativeIntrinsicDelay { buffer } => {
                 write!(f, "buffer `{buffer}` has a negative intrinsic delay")
+            }
+            LibraryError::NegativeOutputSlew { buffer } => {
+                write!(f, "buffer `{buffer}` has a negative output slew")
             }
             LibraryError::InvalidCost { buffer } => {
                 write!(f, "buffer `{buffer}` has a negative or non-finite cost")

@@ -98,6 +98,15 @@ impl BufferLibrary {
             if b.intrinsic_delay() < Seconds::ZERO {
                 return Err(LibraryError::NegativeIntrinsicDelay { buffer: name() });
             }
+            if !b.output_slew().is_finite() {
+                return Err(LibraryError::NonFiniteParameter {
+                    buffer: name(),
+                    field: "output slew",
+                });
+            }
+            if b.output_slew() < Seconds::ZERO {
+                return Err(LibraryError::NegativeOutputSlew { buffer: name() });
+            }
             if !b.cost().is_finite() || b.cost() < 0.0 {
                 return Err(LibraryError::InvalidCost { buffer: name() });
             }
@@ -112,15 +121,18 @@ impl BufferLibrary {
 
         let mut by_resistance_desc: Vec<BufferTypeId> =
             (0..buffers.len()).map(BufferTypeId::new).collect();
+        // `total_cmp`, not `partial_cmp().unwrap()`: the parameters are
+        // validated finite above, but the sort must stay total (and
+        // panic-free) even if validation ever loosens.
         by_resistance_desc.sort_by(|&a, &b| {
             let (ba, bb) = (&buffers[a.index()], &buffers[b.index()]);
             bb.driving_resistance()
-                .partial_cmp(&ba.driving_resistance())
-                .unwrap()
+                .value()
+                .total_cmp(&ba.driving_resistance().value())
                 .then(
                     ba.input_capacitance()
-                        .partial_cmp(&bb.input_capacitance())
-                        .unwrap(),
+                        .value()
+                        .total_cmp(&bb.input_capacitance().value()),
                 )
                 .then(a.cmp(&b))
         });
@@ -129,8 +141,8 @@ impl BufferLibrary {
         by_input_cap_asc.sort_by(|&a, &b| {
             let (ba, bb) = (&buffers[a.index()], &buffers[b.index()]);
             ba.input_capacitance()
-                .partial_cmp(&bb.input_capacitance())
-                .unwrap()
+                .value()
+                .total_cmp(&bb.input_capacitance().value())
                 .then(a.cmp(&b))
         });
         let mut cap_rank = vec![0u32; buffers.len()];
@@ -279,10 +291,11 @@ impl BufferLibrary {
     }
 
     /// Serializes the library to the plain-text exchange format: one
-    /// `name r_ohms c_ff k_ps cost [max_load_ff] [inv]` line per buffer.
+    /// `name r_ohms c_ff k_ps cost [max_load_ff] [slew=ps] [inv]` line per
+    /// buffer.
     pub fn to_text(&self) -> String {
         let mut out = String::from(
-            "# fastbuf buffer library: name r_ohms c_ff k_ps cost [max_load_ff] [inv]\n",
+            "# fastbuf buffer library: name r_ohms c_ff k_ps cost [max_load_ff] [slew=ps] [inv]\n",
         );
         for b in &self.buffers {
             out.push_str(&format!(
@@ -295,6 +308,9 @@ impl BufferLibrary {
             ));
             if let Some(ml) = b.max_load() {
                 out.push_str(&format!(" {}", ml.femtos()));
+            }
+            if b.output_slew() > Seconds::ZERO {
+                out.push_str(&format!(" slew={}", b.output_slew().picos()));
             }
             if b.is_inverting() {
                 out.push_str(" inv");
@@ -323,11 +339,20 @@ impl BufferLibrary {
             let name = it
                 .next()
                 .ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+            // Reject NaN at parse time: `"nan".parse::<f64>()` succeeds, but
+            // a NaN parameter would defeat every downstream ordering and the
+            // unit newtypes debug-assert against it — a degenerate entry
+            // must be a load error, never a later panic.
             let mut field = |what: &str| -> Result<f64, String> {
-                it.next()
+                let v = it
+                    .next()
                     .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
                     .parse::<f64>()
-                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))?;
+                if v.is_nan() {
+                    return Err(format!("line {}: {what} is NaN", lineno + 1));
+                }
+                Ok(v)
             };
             let r = field("resistance")?;
             let c = field("capacitance")?;
@@ -343,10 +368,21 @@ impl BufferLibrary {
             for extra in it {
                 if extra == "inv" {
                     buf = buf.with_inverting(true);
+                } else if let Some(ps) = extra.strip_prefix("slew=") {
+                    let ps: f64 = ps
+                        .parse()
+                        .map_err(|e| format!("line {}: bad output slew: {e}", lineno + 1))?;
+                    if ps.is_nan() {
+                        return Err(format!("line {}: output slew is NaN", lineno + 1));
+                    }
+                    buf = buf.with_output_slew(Seconds::from_pico(ps));
                 } else {
                     let ml: f64 = extra
                         .parse()
                         .map_err(|e| format!("line {}: bad max load: {e}", lineno + 1))?;
+                    if ml.is_nan() {
+                        return Err(format!("line {}: max load is NaN", lineno + 1));
+                    }
                     buf = buf.with_max_load(Farads::from_femto(ml));
                 }
             }
@@ -655,6 +691,62 @@ mod tests {
         let back = BufferLibrary::from_text(&lib.to_text()).unwrap();
         let ml = back.get(BufferTypeId::new(0)).max_load().unwrap();
         assert!((ml.femtos() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_roundtrip_with_output_slew() {
+        let lib = BufferLibrary::new(vec![BufferType::new(
+            "b",
+            Ohms::new(100.0),
+            Farads::from_femto(2.0),
+            Seconds::from_pico(10.0),
+        )
+        .with_output_slew(Seconds::from_pico(15.0))
+        .with_max_load(Farads::from_femto(300.0))])
+        .unwrap();
+        let text = lib.to_text();
+        assert!(text.contains("slew=15"), "{text}");
+        let back = BufferLibrary::from_text(&text).unwrap();
+        let b = back.get(BufferTypeId::new(0));
+        assert!((b.output_slew().picos() - 15.0).abs() < 1e-9);
+        assert!((b.max_load().unwrap().femtos() - 300.0).abs() < 1e-9);
+    }
+
+    /// Regression (NaN ordering satellite): a NaN-producing degenerate
+    /// library entry must be rejected at load time with an error — it must
+    /// never reach the solvers' comparison-based orderings, which would
+    /// panic (or silently misorder) on NaN keys.
+    #[test]
+    fn nan_entries_rejected_at_load() {
+        for bad in [
+            "b NaN 1 1 1",
+            "b nan 1 1 1",
+            "b 100 NaN 1 1",
+            "b 100 1 NaN 1",
+            "b 100 1 1 NaN",
+            "b 100 1 1 1 NaN",
+            "b 100 1 1 1 slew=NaN",
+        ] {
+            let err = BufferLibrary::from_text(bad).unwrap_err();
+            assert!(err.contains("NaN") || err.contains("bad"), "{bad}: {err}");
+        }
+        // Non-finite (but parseable) parameters are caught by validation.
+        assert!(BufferLibrary::from_text("b inf 1 1 1").is_err());
+    }
+
+    #[test]
+    fn negative_output_slew_rejected() {
+        let b = BufferType::new(
+            "x",
+            Ohms::new(100.0),
+            Farads::from_femto(1.0),
+            Seconds::ZERO,
+        )
+        .with_output_slew(Seconds::from_pico(-1.0));
+        assert!(matches!(
+            BufferLibrary::new(vec![b]),
+            Err(LibraryError::NegativeOutputSlew { .. })
+        ));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use std::sync::Arc;
+
 use fastbuf_batch::BatchSolver;
-use fastbuf_buflib::units::Microns;
+use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_core::cost::CostSolver;
-use fastbuf_core::{Algorithm, Solver};
+use fastbuf_core::{Algorithm, DelayModel, Solver};
 use fastbuf_netgen::{caterpillar_net, h_tree, line_net, HTreeSpec, RandomNetSpec, SuiteSpec};
 use fastbuf_rctree::{elmore, io as netio, RoutingTree};
 
@@ -18,11 +20,14 @@ const USAGE: &str = "usage:
                     [--seed S] [--pitch UM] [--length UM] [--levels L] [-o FILE]
   fastbuf gen lib   [--size B] [--jitter SEED] [-o FILE]
   fastbuf gen suite --out-dir DIR [--nets N] [--max-sinks M] [--seed S] [--pitch UM]
+                    [--slew-stress]
   fastbuf info      --net FILE
   fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+                    [--slew-limit PS] [--model elmore|scaled-elmore]
                     [--placements] [--stats] [--no-verify]
   fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
-                    [--json FILE] [--placements] [--per-net] [--check] [--no-verify]
+                    [--slew-limit PS] [--model M] [--json FILE] [--placements]
+                    [--per-net] [--check] [--no-verify]
   fastbuf frontier  --net FILE --lib FILE [--max-cost W]";
 
 /// Dispatches `argv` to a subcommand.
@@ -60,6 +65,32 @@ fn load_net(flags: &Flags) -> Result<RoutingTree, String> {
     let path = flags.required("net")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     netio::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `--model` into a delay model (default Elmore).
+fn load_model(flags: &Flags) -> Result<Arc<dyn DelayModel>, String> {
+    match flags.value("model") {
+        None => Ok(fastbuf_rctree::model_by_name("elmore").expect("elmore always exists")),
+        Some(name) => fastbuf_rctree::model_by_name(name).ok_or_else(|| {
+            format!("unknown delay model `{name}` (expected elmore or scaled-elmore)")
+        }),
+    }
+}
+
+/// Parses `--slew-limit` (picoseconds) into an optional limit.
+fn load_slew_limit(flags: &Flags) -> Result<Option<Seconds>, String> {
+    match flags.value("slew-limit") {
+        None => Ok(None),
+        Some(v) => {
+            let ps: f64 = v
+                .parse()
+                .map_err(|_| format!("flag `--slew-limit`: cannot parse `{v}`"))?;
+            if !ps.is_finite() || ps <= 0.0 {
+                return Err("--slew-limit must be a positive number of picoseconds".into());
+            }
+            Ok(Some(Seconds::from_pico(ps)))
+        }
+    }
 }
 
 fn load_lib(flags: &Flags) -> Result<BufferLibrary, String> {
@@ -137,7 +168,7 @@ fn gen_suite(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         argv,
         &["out-dir", "nets", "max-sinks", "seed", "pitch"],
-        &[],
+        &["slew-stress"],
     )?;
     let dir = PathBuf::from(flags.required("out-dir")?);
     let spec = SuiteSpec {
@@ -145,6 +176,7 @@ fn gen_suite(argv: &[String]) -> Result<(), String> {
         max_sinks: flags.parsed_or("max-sinks", 256usize)?,
         seed: flags.parsed_or("seed", 1u64)?,
         site_pitch: Microns::new(flags.parsed_or("pitch", 200.0f64)?),
+        slew_stress: flags.switch("slew-stress"),
     };
     if spec.nets == 0 {
         return Err("--nets must be at least 1".into());
@@ -211,15 +243,42 @@ fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), Str
 }
 
 fn batch(argv: &[String]) -> Result<(), String> {
+    let mut value_flags = vec![
+        "dir",
+        "manifest",
+        "lib",
+        "algo",
+        "workers",
+        "json",
+        "slew-limit",
+        "model",
+    ];
+    // `--check-fault N` is a testing hook: it perturbs net N's sequential
+    // re-solve so the `--check` failure path can be exercised end to end.
+    // Test builds only — the production binary rejects it as unknown.
+    if cfg!(test) {
+        value_flags.push("check-fault");
+    }
     let flags = Flags::parse(
         argv,
-        &["dir", "manifest", "lib", "algo", "workers", "json"],
+        &value_flags,
         &["placements", "per-net", "check", "no-verify"],
     )?;
     let (names, nets) = load_batch_nets(&flags)?;
     let lib = load_lib(&flags)?;
     let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
-    let mut solver = BatchSolver::new(&nets, &lib).algorithm(algo);
+    let model = load_model(&flags)?;
+    let slew_limit = load_slew_limit(&flags)?;
+    let check_fault: Option<usize> = match flags.value("check-fault") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| "bad --check-fault".to_string())?),
+    };
+    let mut solver = BatchSolver::new(&nets, &lib)
+        .algorithm(algo)
+        .delay_model(Arc::clone(&model));
+    if let Some(limit) = slew_limit {
+        solver = solver.slew_limit(limit);
+    }
     if let Some(w) = flags.value("workers") {
         let w: usize = w.parse().map_err(|_| "bad --workers".to_string())?;
         if w == 0 {
@@ -230,15 +289,17 @@ fn batch(argv: &[String]) -> Result<(), String> {
     let report = solver.solve();
 
     if !flags.switch("no-verify") {
-        // Independent forward-Elmore check of every reconstruction.
+        // Independent forward check of every reconstruction, under the
+        // same delay model the batch solved with.
         for o in &report.outcomes {
-            let measured = elmore::evaluate(
+            let measured = elmore::evaluate_with(
                 &nets[o.index],
                 &lib,
                 &o.placements
                     .iter()
                     .map(|p| (p.node, p.buffer))
                     .collect::<Vec<_>>(),
+                &*model,
             )
             .map_err(|e| format!("{}: {e}", names[o.index]))?;
             // Same relative tolerance as `Solution::verify` — one
@@ -247,20 +308,38 @@ fn batch(argv: &[String]) -> Result<(), String> {
             let tol = 1e-9 * predicted.abs().max(measured_v.abs()).max(1e-12);
             if (measured_v - predicted).abs() > tol {
                 return Err(format!(
-                    "{}: batch predicted {} but Elmore measures {}",
+                    "{}: batch predicted {} but forward evaluation measures {}",
                     names[o.index], o.slack, measured.slack
                 ));
+            }
+            if let Some(limit) = slew_limit {
+                if o.slew_ok && o.max_slew.value() > limit.value() * (1.0 + 1e-9) {
+                    return Err(format!(
+                        "{}: reported slew-feasible but measures {} over the {} limit",
+                        names[o.index], o.max_slew, limit
+                    ));
+                }
             }
         }
     }
     if flags.switch("check") {
         // Re-solve sequentially and demand bit-identical results.
         for o in &report.outcomes {
-            let solo = Solver::new(&nets[o.index], &lib).algorithm(algo).solve();
+            let mut seq = Solver::new(&nets[o.index], &lib)
+                .algorithm(algo)
+                .delay_model(Arc::clone(&model));
+            if let Some(limit) = slew_limit {
+                seq = seq.slew_limit(limit);
+            }
+            let mut solo = seq.solve();
+            if check_fault == Some(o.index) {
+                solo.slack += Seconds::from_pico(1.0);
+            }
             if solo.slack != o.slack || solo.placements != o.placements {
                 return Err(format!(
-                    "{}: batch result diverges from sequential solve",
-                    names[o.index]
+                    "check failed: net {} (`{}`) diverges from its sequential \
+                     solve: batch slack {} vs sequential {}",
+                    o.index, names[o.index], o.slack, solo.slack
                 ));
             }
         }
@@ -273,13 +352,15 @@ fn batch(argv: &[String]) -> Result<(), String> {
     if flags.switch("per-net") {
         for o in &report.outcomes {
             println!(
-                "  {:<40} sinks {:>5} sites {:>6} slack {} -> {} buffers {:>4}",
+                "  {:<40} sinks {:>5} sites {:>6} slack {} -> {} buffers {:>4} slew {}{}",
                 names[o.index],
                 o.sinks,
                 o.sites,
                 o.slack_before,
                 o.slack,
-                o.placements.len()
+                o.placements.len(),
+                o.max_slew,
+                if o.slew_ok { "" } else { " [OVER LIMIT]" },
             );
         }
     }
@@ -312,17 +393,26 @@ fn info(argv: &[String]) -> Result<(), String> {
 fn solve(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         argv,
-        &["net", "lib", "algo"],
+        &["net", "lib", "algo", "slew-limit", "model"],
         &["placements", "stats", "no-verify"],
     )?;
     let tree = load_net(&flags)?;
     let lib = load_lib(&flags)?;
     let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
+    let model = load_model(&flags)?;
+    let slew_limit = load_slew_limit(&flags)?;
 
-    let unbuffered = elmore::evaluate(&tree, &lib, &[]).map_err(|e| e.to_string())?;
-    let solution = Solver::new(&tree, &lib).algorithm(algo).solve();
+    let unbuffered = elmore::evaluate_with(&tree, &lib, &[], &*model).map_err(|e| e.to_string())?;
+    let mut solver = Solver::new(&tree, &lib)
+        .algorithm(algo)
+        .delay_model(Arc::clone(&model));
+    if let Some(limit) = slew_limit {
+        solver = solver.slew_limit(limit);
+    }
+    let solution = solver.solve();
 
     println!("algorithm:        {algo}");
+    println!("delay model:      {}", model.name());
     println!("unbuffered slack: {}", unbuffered.slack);
     println!(
         "buffered slack:   {}  (improvement {})",
@@ -334,9 +424,31 @@ fn solve(argv: &[String]) -> Result<(), String> {
         solution.placements.len(),
         solution.total_cost(&lib)
     );
+    if let Some(limit) = slew_limit {
+        let measured = elmore::evaluate_with(&tree, &lib, &solution.placement_pairs(), &*model)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "slew:             worst {} against limit {}{}",
+            measured.max_slew,
+            limit,
+            if solution.slew_ok {
+                ""
+            } else {
+                "  [INFEASIBLE: best effort]"
+            }
+        );
+        if solution.slew_ok && measured.max_slew.value() > limit.value() * (1.0 + 1e-9) {
+            return Err(format!(
+                "slew check failed: measured {} over the {} limit",
+                measured.max_slew, limit
+            ));
+        }
+    }
     if !flags.switch("no-verify") {
-        let measured = solution.verify(&tree, &lib).map_err(|e| e.to_string())?;
-        println!("verified:         forward Elmore evaluation measures {measured}");
+        let measured = solution
+            .verify_with(&tree, &lib, &*model)
+            .map_err(|e| e.to_string())?;
+        println!("verified:         forward evaluation measures {measured}");
     }
     if flags.switch("placements") {
         for p in &solution.placements {
@@ -568,6 +680,181 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         run(&argv).unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: the `--check` failure path must fail loudly, naming the
+    /// offending net. `--check-fault N` (a testing hook) perturbs net N's
+    /// sequential re-solve so the divergence branch actually runs; the
+    /// binary's `main` maps the returned `Err` to a nonzero exit code.
+    #[test]
+    fn batch_check_failure_names_the_offending_net() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-fault-{}", std::process::id()));
+        let suite_dir = dir.join("suite");
+        fs::create_dir_all(&dir).unwrap();
+        let lib = dir.join("b.lib");
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+        run_strs(&[
+            "gen",
+            "suite",
+            "--nets",
+            "5",
+            "--max-sinks",
+            "16",
+            "--seed",
+            "2",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_strs(&["gen", "lib", "--size", "3", "-o", lib.to_str().unwrap()]).unwrap();
+
+        // Sanity: without the fault the check passes.
+        run_strs(&[
+            "batch",
+            "--dir",
+            suite_dir.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--check",
+        ])
+        .unwrap();
+
+        // Forced mismatch on net index 3: the error names it.
+        let err = run_strs(&[
+            "batch",
+            "--dir",
+            suite_dir.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--check",
+            "--check-fault",
+            "3",
+        ])
+        .unwrap_err();
+        assert!(err.contains("check failed"), "{err}");
+        assert!(err.contains("net 3"), "must name the net index: {err}");
+        assert!(
+            err.contains("net00003.net"),
+            "must name the net file: {err}"
+        );
+        assert!(err.contains("diverges"), "{err}");
+
+        // A fault index outside the batch changes nothing.
+        run_strs(&[
+            "batch",
+            "--dir",
+            suite_dir.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--check",
+            "--check-fault",
+            "99",
+        ])
+        .unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_and_batch_with_slew_limit_and_model() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-slew-{}", std::process::id()));
+        let suite_dir = dir.join("suite");
+        fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("t.net");
+        let lib = dir.join("t.lib");
+        let json = dir.join("r.json");
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+        run_strs(&[
+            "gen",
+            "net",
+            "--kind",
+            "line",
+            "--length",
+            "9000",
+            "--sites",
+            "8",
+            "-o",
+            net.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+        for model in ["elmore", "scaled-elmore"] {
+            run_strs(&[
+                "solve",
+                "--net",
+                net.to_str().unwrap(),
+                "--lib",
+                lib.to_str().unwrap(),
+                "--slew-limit",
+                "300",
+                "--model",
+                model,
+                "--placements",
+            ])
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        }
+        let err = run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--model",
+            "spice",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown delay model"), "{err}");
+        let err = run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--slew-limit",
+            "-5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--slew-limit"), "{err}");
+
+        // Slew-stressed suite through the slew-constrained batch, with
+        // check + JSON.
+        run_strs(&[
+            "gen",
+            "suite",
+            "--nets",
+            "6",
+            "--max-sinks",
+            "16",
+            "--seed",
+            "3",
+            "--slew-stress",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_strs(&[
+            "batch",
+            "--dir",
+            suite_dir.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--slew-limit",
+            "400",
+            "--check",
+            "--per-net",
+            "--json",
+            json.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"slew_limit_ps\": 400"), "{report}");
+        assert!(report.contains("\"max_slew_ps\""));
+        assert!(report.contains("\"slew_ok\""));
 
         fs::remove_dir_all(&dir).ok();
     }

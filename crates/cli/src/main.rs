@@ -5,13 +5,22 @@
 //!                   [--seed S] [--pitch UM] [-o FILE]
 //! fastbuf gen lib   [--size B] [--jitter SEED] [-o FILE]
 //! fastbuf gen suite --out-dir DIR [--nets N] [--max-sinks M] [--seed S] [--pitch UM]
+//!                   [--slew-stress]
 //! fastbuf info      --net FILE
 //! fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
+//!                   [--slew-limit PS] [--model elmore|scaled-elmore]
 //!                   [--placements] [--stats] [--no-verify]
 //! fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
-//!                   [--json FILE] [--placements] [--per-net] [--check] [--no-verify]
+//!                   [--slew-limit PS] [--model M] [--json FILE] [--placements]
+//!                   [--per-net] [--check] [--no-verify]
 //! fastbuf frontier  --net FILE --lib FILE [--max-cost W]
 //! ```
+//!
+//! `--slew-limit` runs the slew-constrained mode: candidates whose stage
+//! would exceed the limit (in ps) at any buffer input or sink are pruned,
+//! and reports carry measured worst slews. `--model` selects the delay
+//! backend (`elmore` default, `scaled-elmore` for the D2M-style scaled
+//! wire metric).
 //!
 //! `batch` solves every net of a directory or manifest in parallel through
 //! `fastbuf-batch` and emits per-net + aggregate results (optionally as

@@ -27,6 +27,7 @@ use crate::arena::{PredArena, PredEntry, PredRef};
 use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
 use crate::hull::{convex_prune_in_place, upper_hull_into};
 use crate::pool::CandidatePool;
+use crate::slew::SlewPolicy;
 use crate::stats::SolveStats;
 
 /// Which buffer-insertion algorithm the [`Solver`](crate::Solver) runs.
@@ -137,10 +138,11 @@ pub(crate) fn add_buffers(
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
+    slew: &SlewPolicy,
     stats: &mut SolveStats,
 ) {
     if !find_betas(
-        algo, list, lib, constraint, node, arena, track, scratch, stats,
+        algo, list, lib, constraint, node, arena, track, scratch, slew, stats,
     ) {
         return;
     }
@@ -163,6 +165,11 @@ pub(crate) fn add_buffers(
 ///
 /// [`Algorithm::LiShiPermanent`] additionally convex-prunes `list` in place,
 /// exactly as the paper's published `AddBuffer` does.
+///
+/// With an active slew constraint every algorithm takes the exact per-type
+/// scan: the feasibility predicate `R·C + s ≤ budget` is not monotone along
+/// the list (like a load limit, but per-type), so the hull walk's
+/// Lemma 1/4 shortcut does not apply — see `docs/ALGORITHM.md`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn find_betas(
     algo: Algorithm,
@@ -173,6 +180,7 @@ pub(crate) fn find_betas(
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
+    slew: &SlewPolicy,
     stats: &mut SolveStats,
 ) -> bool {
     if list.is_empty() || lib.is_empty() || !constraint.is_site() {
@@ -184,29 +192,45 @@ pub(crate) fn find_betas(
 
     match algo {
         Algorithm::Lillis => {
-            find_alphas_scan(list, lib, constraint, node, arena, track, scratch, stats);
+            find_alphas_scan(
+                list, lib, constraint, node, arena, track, scratch, slew, stats,
+            );
         }
         Algorithm::LiShi => {
-            upper_hull_into(list.as_slice(), &mut scratch.hull);
-            stats.hull_builds += 1;
-            stats.hull_input_candidates += list.len() as u64;
-            find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+            if slew.active() {
+                find_alphas_scan(
+                    list, lib, constraint, node, arena, track, scratch, slew, stats,
+                );
+            } else {
+                upper_hull_into(list.as_slice(), &mut scratch.hull);
+                stats.hull_builds += 1;
+                stats.hull_input_candidates += list.len() as u64;
+                find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+            }
         }
         Algorithm::LiShiPermanent => {
             // Paper-as-written: prune the propagated list itself, then the
             // hull *is* the list.
             stats.convex_pruned += convex_prune_in_place(list) as u64;
-            stats.hull_builds += 1;
-            stats.hull_input_candidates += list.len() as u64;
-            scratch.hull.clear();
-            scratch.hull.extend(0..list.len() as u32);
-            find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+            if slew.active() {
+                find_alphas_scan(
+                    list, lib, constraint, node, arena, track, scratch, slew, stats,
+                );
+            } else {
+                stats.hull_builds += 1;
+                stats.hull_input_candidates += list.len() as u64;
+                scratch.hull.clear();
+                scratch.hull.extend(0..list.len() as u32);
+                find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+            }
         }
     }
     true
 }
 
-/// Lillis et al.: independent O(k) scan per allowed buffer type.
+/// Lillis et al.: independent O(k) scan per allowed buffer type. Also the
+/// path every algorithm takes under an active slew constraint, where the
+/// per-type feasibility filter `R·C + s ≤ budget` rules out the hull walk.
 #[allow(clippy::too_many_arguments)]
 fn find_alphas_scan(
     list: &CandidateList,
@@ -216,6 +240,7 @@ fn find_alphas_scan(
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
+    slew: &SlewPolicy,
     stats: &mut SolveStats,
 ) {
     for (id, _) in lib.iter() {
@@ -223,11 +248,15 @@ fn find_alphas_scan(
             continue;
         }
         let (r, k, c_in, max_load) = params(lib, id);
+        let slew_cap = slew.type_cap(id);
         let mut best: Option<&Candidate> = None;
         for cand in list.iter() {
             stats.scan_candidate_visits += 1;
             if cand.c > max_load {
                 break; // c is sorted ascending; nothing further fits
+            }
+            if r * cand.c + cand.s > slew_cap {
+                continue; // closing this stage with B_i would violate slew
             }
             match best {
                 None => best = Some(cand),
@@ -376,6 +405,7 @@ mod tests {
             &mut arena,
             false,
             &mut scratch,
+            &SlewPolicy::unlimited(),
             &mut stats,
         );
         out
@@ -480,6 +510,7 @@ mod tests {
             &mut arena,
             false,
             &mut scratch,
+            &SlewPolicy::unlimited(),
             &mut stats,
         );
         // Only one beta may appear (c = 0.3); type 0's c_in 0.25 must not.
@@ -504,6 +535,7 @@ mod tests {
             &mut arena,
             false,
             &mut scratch,
+            &SlewPolicy::unlimited(),
             &mut stats,
         );
         assert_eq!(out, l);
@@ -552,6 +584,74 @@ mod tests {
         assert_eq!(out, l);
     }
 
+    /// With an active slew budget, a type only closes stages it can drive
+    /// legally: infeasible alphas are skipped, and a type with no feasible
+    /// alpha emits no beta.
+    #[test]
+    fn slew_budget_filters_alphas_per_type() {
+        use fastbuf_buflib::units::Seconds as S;
+        use fastbuf_rctree::delay::{ElmoreModel, LN9};
+        // Two candidates; the better one (for any r) carries a large stage
+        // delay.
+        let l = CandidateList::from_sorted(vec![
+            cand(1.0, 1.0).with_stage_delay(0.0),
+            cand(10.0, 2.0).with_stage_delay(5.0),
+        ]);
+        // One buffer: R = 1, C_in = 0.5, K = 0.
+        let library = lib(&[(1.0, 0.5, 0.0)]);
+        // Budget r*c + s <= 4: only (1,1,s=0) qualifies (1*2+5 = 7 > 4).
+        let slew = SlewPolicy::new(&ElmoreModel, &library, 4.0 * LN9);
+        assert!((slew.cap - 4.0).abs() < 1e-12);
+        for algo in Algorithm::ALL {
+            let mut out = l.clone();
+            let mut arena = PredArena::new();
+            let mut scratch = Scratch::default();
+            let mut stats = SolveStats::default();
+            add_buffers(
+                algo,
+                &mut out,
+                &library,
+                &SiteConstraint::AnyBuffer,
+                NodeId::new(0),
+                &mut arena,
+                false,
+                &mut scratch,
+                &slew,
+                &mut stats,
+            );
+            // Beta from alpha (1,1): q = 1 - 1*1 = 0, c = 0.5 — not from
+            // the infeasible (10,2).
+            assert!(
+                out.iter().any(|c| c.c == 0.5 && c.q == 0.0),
+                "{algo}: {out:?}"
+            );
+            assert!(
+                out.iter().all(|c| c.c != 0.5 || c.q == 0.0),
+                "{algo} used the slew-infeasible alpha: {out:?}"
+            );
+        }
+        // A budget nothing satisfies emits no betas at all.
+        let strict = SlewPolicy::new(&ElmoreModel, &library, S::from_pico(0.0).value());
+        let mut out = l.clone();
+        let mut arena = PredArena::new();
+        let mut scratch = Scratch::default();
+        let mut stats = SolveStats::default();
+        add_buffers(
+            Algorithm::LiShi,
+            &mut out,
+            &library,
+            &SiteConstraint::AnyBuffer,
+            NodeId::new(0),
+            &mut arena,
+            false,
+            &mut scratch,
+            &strict,
+            &mut stats,
+        );
+        assert_eq!(out, l);
+        assert_eq!(stats.betas_generated, 0);
+    }
+
     #[test]
     fn lillis_visits_k_times_b_and_lishi_does_not() {
         let points: Vec<(f64, f64)> = (0..100)
@@ -584,6 +684,7 @@ mod tests {
                 &mut arena,
                 false,
                 &mut scratch,
+                &SlewPolicy::unlimited(),
                 &mut stats,
             );
             stats
@@ -632,11 +733,13 @@ mod tests {
                 let best = l
                     .iter()
                     .max_by(|a, b| {
+                        // `total_cmp`: the ordering must stay total even on
+                        // degenerate (NaN-producing) inputs — see the NaN
+                        // rejection tests in `fastbuf-buflib`.
                         a.driven_q(r, 0.0)
-                            .partial_cmp(&b.driven_q(r, 0.0))
-                            .unwrap()
+                            .total_cmp(&b.driven_q(r, 0.0))
                             // min-C tiebreak: prefer the earlier (smaller C).
-                            .then(b.c.partial_cmp(&a.c).unwrap())
+                            .then(b.c.total_cmp(&a.c))
                     })
                     .unwrap();
                 assert!(

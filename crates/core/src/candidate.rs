@@ -13,25 +13,49 @@
 //! newtypes of `fastbuf-buflib` would only obscure the arithmetic. The
 //! public solver APIs convert at the boundary.
 
+use fastbuf_rctree::delay::{DelayModel, ElmoreModel};
+
 use crate::arena::PredRef;
 use crate::pool::CandidatePool;
 
 /// One `(Q, C)` candidate of the dynamic program.
+///
+/// Besides the paper's two coordinates, every candidate carries `s`: the
+/// worst in-stage wire delay of its *topmost unbuffered stage* — the
+/// maximum, over the buffer inputs and sinks reachable from the candidate's
+/// root without crossing a buffer, of the wire delay from the root to that
+/// endpoint. When an upstream gate with resistance `R` later closes the
+/// stage, the output slew at the worst endpoint is `slew₀ + ln9·(R·C + s)`
+/// (see `fastbuf_rctree::delay`), which is what slew-constrained solving
+/// prunes against. `s` rides along for free in unconstrained solves and
+/// never influences `(Q, C)` dominance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Candidate {
     /// Slack at the current node, in seconds.
     pub q: f64,
     /// Downstream capacitance, in farads.
     pub c: f64,
+    /// Worst in-stage wire delay to a stage endpoint, in seconds.
+    pub s: f64,
     /// Reconstruction reference into the predecessor arena.
     pub pred: PredRef,
 }
 
 impl Candidate {
-    /// Creates a candidate.
+    /// Creates a candidate with zero stage delay (a sink, or a freshly
+    /// buffered candidate whose stage endpoint is its own input).
     #[inline]
     pub fn new(q: f64, c: f64, pred: PredRef) -> Self {
-        Candidate { q, c, pred }
+        Candidate { q, c, s: 0.0, pred }
+    }
+
+    /// Replaces the stage wire delay and returns `self` (builder style,
+    /// mostly for tests and branch merging).
+    #[inline]
+    #[must_use]
+    pub fn with_stage_delay(mut self, s: f64) -> Self {
+        self.s = s;
+        self
     }
 
     /// The buffered slack `Q − (K + R·C)` this candidate would yield if
@@ -150,24 +174,34 @@ impl CandidateList {
     }
 
     /// Propagates the list through a wire of resistance `r` (Ω) and
-    /// capacitance `cw` (F) — the paper's "add a wire" operation:
+    /// capacitance `cw` (F) — the paper's "add a wire" operation under the
+    /// Elmore model:
     ///
     /// ```text
-    /// Q ← Q − r·(cw/2 + C)        C ← C + cw
+    /// Q ← Q − r·(cw/2 + C)        C ← C + cw        s ← s + r·(cw/2 + C)
     /// ```
     ///
     /// The shear can make a high-`C` candidate's `Q` fall below a lower-`C`
     /// candidate's (the wire penalizes big loads more), so dominated
     /// candidates are re-pruned in the same O(k) pass.
     pub fn add_wire(&mut self, r: f64, cw: f64) {
+        self.add_wire_model(&ElmoreModel, r, cw);
+    }
+
+    /// [`CandidateList::add_wire`] under an arbitrary [`DelayModel`]: the
+    /// wire delay charged against `Q` (and accumulated into `s`) is
+    /// `model.wire_delay(r, cw, C)`. With [`ElmoreModel`] this is
+    /// bit-identical to the historical hard-coded arithmetic.
+    pub fn add_wire_model(&mut self, model: &dyn DelayModel, r: f64, cw: f64) {
         if r == 0.0 && cw == 0.0 {
             return;
         }
-        let half = cw / 2.0;
         let mut write = 0usize;
         for read in 0..self.cands.len() {
             let mut cand = self.cands[read];
-            cand.q -= r * (half + cand.c);
+            let d = model.wire_delay(r, cw, cand.c);
+            cand.q -= d;
+            cand.s += d;
             cand.c += cw;
             // c order is preserved, so one monotone pass restores the
             // nonredundant invariant.
@@ -186,6 +220,36 @@ impl CandidateList {
         }
         self.cands.truncate(write);
         self.debug_validate();
+    }
+
+    /// Removes every candidate whose stage wire delay `s` already exceeds
+    /// `cap` — such a candidate violates the slew limit in *every*
+    /// completion, because closing its stage with any driver only adds the
+    /// non-negative `R·C` term and upstream wires only grow `s`.
+    ///
+    /// To keep the DP total (degenerate nets must solve, never panic), the
+    /// single least-bad candidate is retained when all of them violate;
+    /// the violation then surfaces at the root as `slew_ok = false`.
+    /// Returns the number of candidates removed.
+    pub(crate) fn prune_slew(&mut self, cap: f64) -> usize {
+        if !cap.is_finite() || self.cands.is_empty() {
+            return 0;
+        }
+        let before = self.cands.len();
+        if self.cands.iter().all(|c| c.s > cap) {
+            let least_bad = self
+                .cands
+                .iter()
+                .copied()
+                .min_by(|a, b| a.s.total_cmp(&b.s))
+                .expect("list is non-empty");
+            self.cands.clear();
+            self.cands.push(least_bad);
+            return before - 1;
+        }
+        self.cands.retain(|c| c.s <= cap);
+        self.debug_validate();
+        before - self.cands.len()
     }
 
     /// Merges `incoming` (sorted by strictly increasing `C`, e.g. the `β_i`
@@ -289,7 +353,10 @@ impl CandidateList {
                 );
             }
             for c in &self.cands {
-                debug_assert!(!c.q.is_nan() && c.c.is_finite(), "bad candidate {c:?}");
+                debug_assert!(
+                    !c.q.is_nan() && c.c.is_finite() && !c.s.is_nan(),
+                    "bad candidate {c:?}"
+                );
             }
         }
     }
@@ -342,10 +409,46 @@ mod tests {
     #[test]
     fn add_wire_shears_and_shifts() {
         let mut l = CandidateList::from_candidates(vec![cand(10.0, 1.0), cand(20.0, 2.0)]);
-        // r=1, cw=4: q -= 1*(2 + c); c += 4.
+        // r=1, cw=4: q -= 1*(2 + c); c += 4; s += the same wire delay.
         l.add_wire(1.0, 4.0);
         let got: Vec<(f64, f64)> = l.iter().map(|c| (c.q, c.c)).collect();
         assert_eq!(got, vec![(7.0, 5.0), (16.0, 6.0)]);
+        let slews: Vec<f64> = l.iter().map(|c| c.s).collect();
+        assert_eq!(slews, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_wire_accumulates_stage_delay() {
+        let mut l = CandidateList::from_candidates(vec![cand(10.0, 1.0)]);
+        l.add_wire(1.0, 2.0); // d = 1*(1 + 1) = 2
+        l.add_wire(2.0, 0.0); // d = 2*(0 + 3) = 6
+        assert_eq!(l.as_slice()[0].s, 8.0);
+        assert_eq!(l.as_slice()[0].q, 10.0 - 8.0);
+    }
+
+    #[test]
+    fn prune_slew_drops_violators_and_keeps_least_bad() {
+        let mk = || {
+            CandidateList::from_sorted(vec![
+                cand(1.0, 1.0).with_stage_delay(5.0),
+                cand(2.0, 2.0).with_stage_delay(1.0),
+                cand(3.0, 3.0).with_stage_delay(9.0),
+            ])
+        };
+        // cap = 2: only the middle candidate survives.
+        let mut l = mk();
+        assert_eq!(l.prune_slew(2.0), 2);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.as_slice()[0].q, 2.0);
+        // cap = 0.5: all violate -> keep the minimum-s candidate.
+        let mut l = mk();
+        assert_eq!(l.prune_slew(0.5), 2);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.as_slice()[0].s, 1.0);
+        // infinite cap: no-op.
+        let mut l = mk();
+        assert_eq!(l.prune_slew(f64::INFINITY), 0);
+        assert_eq!(l.len(), 3);
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::arena::{PredArena, PredRef};
 use crate::buffering::{find_betas, Algorithm, Scratch};
 use crate::candidate::{Candidate, CandidateList};
 use crate::merge::merge_branches;
+use crate::slew::SlewPolicy;
 use crate::solution::Placement;
 use crate::stats::SolveStats;
 
@@ -226,6 +227,9 @@ impl<'a> CostSolver<'a> {
                             if level.is_empty() {
                                 continue;
                             }
+                            // The cost DP stays slew-unconstrained; pair it
+                            // with `Solver::slew_limit` if both axes are
+                            // needed (see docs/ALGORITHM.md).
                             if !find_betas(
                                 self.algorithm,
                                 level,
@@ -235,6 +239,7 @@ impl<'a> CostSolver<'a> {
                                 &mut arena,
                                 true,
                                 &mut scratch,
+                                &SlewPolicy::unlimited(),
                                 &mut stats,
                             ) {
                                 continue;

@@ -8,16 +8,19 @@
 //! "three major operations" and guarantees that runtime differences between
 //! [`Algorithm`]s measure exactly the operation the paper improves.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fastbuf_buflib::units::{Farads, Seconds};
 use fastbuf_buflib::BufferLibrary;
+use fastbuf_rctree::delay::{DelayModel, ElmoreModel};
 use fastbuf_rctree::{NodeKind, RoutingTree};
 
 use crate::arena::{PredArena, PredRef};
 use crate::buffering::{add_buffers, Algorithm, Scratch};
 use crate::candidate::{Candidate, CandidateList};
 use crate::merge::merge_branches_pooled;
+use crate::slew::SlewPolicy;
 use crate::solution::Solution;
 use crate::stats::SolveStats;
 
@@ -69,7 +72,7 @@ impl SolveWorkspace {
 }
 
 /// Configuration of a [`Solver`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolverOptions {
     /// Which `AddBuffer` implementation to run. Default:
     /// [`Algorithm::LiShi`].
@@ -78,6 +81,17 @@ pub struct SolverOptions {
     /// reconstructed (default `true`). Disable for timing runs that only
     /// need the slack — the paper's experiments time the DP this way.
     pub track_predecessors: bool,
+    /// The wire-delay/slew model (default [`ElmoreModel`], which is
+    /// bit-identical to the historical hard-coded arithmetic). See
+    /// `fastbuf_rctree::delay`.
+    pub delay_model: Arc<dyn DelayModel>,
+    /// Optional per-net maximum output slew at every buffer input and sink
+    /// (default `None` = unconstrained). With a finite limit, candidates
+    /// whose stage would violate it are pruned; whether the returned
+    /// solution meets the limit is reported in
+    /// [`Solution::slew_ok`](crate::Solution::slew_ok). A non-finite limit
+    /// behaves exactly like `None`.
+    pub slew_limit: Option<Seconds>,
 }
 
 impl Default for SolverOptions {
@@ -85,6 +99,8 @@ impl Default for SolverOptions {
         SolverOptions {
             algorithm: Algorithm::default(),
             track_predecessors: true,
+            delay_model: Arc::new(ElmoreModel),
+            slew_limit: None,
         }
     }
 }
@@ -166,6 +182,22 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Selects the wire-delay/slew model (default
+    /// [`ElmoreModel`]).
+    #[must_use]
+    pub fn delay_model(mut self, model: Arc<dyn DelayModel>) -> Self {
+        self.options.delay_model = model;
+        self
+    }
+
+    /// Sets (or, with a non-finite value, clears) the per-net maximum
+    /// output slew.
+    #[must_use]
+    pub fn slew_limit(mut self, limit: Seconds) -> Self {
+        self.options.slew_limit = limit.is_finite().then_some(limit);
+        self
+    }
+
     /// Runs the dynamic program and returns the best solution found.
     ///
     /// For [`Algorithm::Lillis`] and [`Algorithm::LiShi`] the result is the
@@ -188,6 +220,9 @@ impl<'a> Solver<'a> {
         let lib = self.library;
         let track = self.options.track_predecessors;
         let algo = self.options.algorithm;
+        let model: &dyn DelayModel = &*self.options.delay_model;
+        let limit = self.options.slew_limit.map_or(f64::INFINITY, |s| s.value());
+        let slew = SlewPolicy::new(model, lib, limit);
 
         let mut stats = SolveStats::default();
         let SolveWorkspace {
@@ -222,13 +257,27 @@ impl<'a> Solver<'a> {
                         let wire = tree
                             .wire_to_parent(child)
                             .expect("non-root child has a wire");
-                        cl.add_wire(wire.resistance().value(), wire.capacitance().value());
+                        cl.add_wire_model(
+                            model,
+                            wire.resistance().value(),
+                            wire.capacitance().value(),
+                        );
+                        if slew.active() {
+                            stats.slew_pruned += cl.prune_slew(slew.cap) as u64;
+                        }
                         stats.wire_ops += 1;
                         acc = Some(match acc {
                             None => cl,
                             Some(prev) => {
                                 stats.merge_ops += 1;
-                                merge_branches_pooled(prev, cl, arena, track, &mut scratch.pool)
+                                merge_branches_pooled(
+                                    prev,
+                                    cl,
+                                    arena,
+                                    track,
+                                    &mut scratch.pool,
+                                    slew.cap,
+                                )
                             }
                         });
                     }
@@ -243,6 +292,7 @@ impl<'a> Solver<'a> {
                             arena,
                             track,
                             scratch,
+                            &slew,
                             &mut stats,
                         );
                     }
@@ -258,12 +308,41 @@ impl<'a> Solver<'a> {
             .expect("root is processed last");
         stats.root_list_len = root_list.len();
         let driver = tree.driver();
-        let best = *root_list
-            .best_driven(
-                driver.resistance().value(),
-                driver.intrinsic_delay().value(),
+        let (dr, dk) = (
+            driver.resistance().value(),
+            driver.intrinsic_delay().value(),
+        );
+        // With an active slew limit the driver closes the final stage, so
+        // only candidates it can drive legally are eligible; if none is
+        // (the net is infeasible under the limit), fall back to the
+        // least-bad candidate and report `slew_ok = false`.
+        let feasible = |c: &Candidate| dr * c.c + c.s <= slew.cap;
+        let (best, slew_ok) = if !slew.active() {
+            (
+                *root_list
+                    .best_driven(dr, dk)
+                    .expect("candidate lists are never empty"),
+                true,
             )
-            .expect("candidate lists are never empty");
+        } else {
+            let mut choice: Option<&Candidate> = None;
+            for cand in root_list.iter().filter(|c| feasible(c)) {
+                if choice.is_none_or(|b| cand.driven_q(dr, dk) > b.driven_q(dr, dk)) {
+                    choice = Some(cand);
+                }
+            }
+            match choice {
+                Some(c) => (*c, true),
+                None => (
+                    *root_list
+                        .iter()
+                        .min_by(|a, b| (dr * a.c + a.s).total_cmp(&(dr * b.c + b.s)))
+                        .expect("candidate lists are never empty"),
+                    false,
+                ),
+            }
+        };
+        let root_slew = Seconds::new(model.slew(0.0, dr, best.c, best.s));
         scratch.pool.recycle(root_list);
 
         let placements = if track {
@@ -279,14 +358,14 @@ impl<'a> Solver<'a> {
         stats.elapsed = start.elapsed();
 
         Solution {
-            slack: Seconds::new(
-                best.q - driver.intrinsic_delay().value() - driver.resistance().value() * best.c,
-            ),
+            slack: Seconds::new(best.q - dk - dr * best.c),
             root_q: Seconds::new(best.q),
             root_load: Farads::new(best.c),
             placements,
             algorithm: algo,
             tracked: track,
+            root_slew,
+            slew_ok,
             stats,
         }
     }
@@ -502,6 +581,159 @@ mod tests {
         let lib = paper_lib(4);
         let sol = Solver::new(&tree, &lib).solve();
         assert_eq!(sol.slack, sol.root_q); // no driver penalty
+    }
+
+    /// Acceptance anchor: with `slew_limit = ∞` and the Elmore backend the
+    /// solver output is bit-identical to pre-seam behavior — asserted
+    /// against slack bit patterns recorded from the code before the
+    /// `DelayModel` refactor, and against an explicitly-optioned solve.
+    #[test]
+    fn infinite_slew_limit_elmore_is_bit_identical_to_pre_seam_golden() {
+        use std::sync::Arc;
+        let lib = paper_lib(8);
+        let tree = fastbuf_netgen::line_net(Microns::new(10_000.0), 9);
+        let default = Solver::new(&tree, &lib).solve();
+        assert_eq!(
+            default.slack.value().to_bits(),
+            0x3e1a5a255d0ebf4c,
+            "slack drifted from pre-refactor golden: {}",
+            default.slack
+        );
+        assert_eq!(default.placements.len(), 2);
+        assert!(default.slew_ok);
+
+        // Explicit options: Elmore model + infinite limit must take the
+        // same path bit for bit (a non-finite limit means "no limit").
+        let explicit = Solver::new(&tree, &lib)
+            .delay_model(Arc::new(ElmoreModel))
+            .slew_limit(Seconds::new(f64::INFINITY))
+            .solve();
+        assert_eq!(
+            explicit.slack.value().to_bits(),
+            default.slack.value().to_bits()
+        );
+        assert_eq!(explicit.placements, default.placements);
+
+        let lib16 = fastbuf_buflib::BufferLibrary::paper_synthetic_jittered(16, 7).unwrap();
+        let tree2 = fastbuf_netgen::RandomNetSpec {
+            sinks: 24,
+            seed: 3,
+            ..fastbuf_netgen::RandomNetSpec::default()
+        }
+        .build();
+        for algo in Algorithm::ALL {
+            let s = Solver::new(&tree2, &lib16).algorithm(algo).solve();
+            assert_eq!(
+                s.slack.value().to_bits(),
+                0x3e0969bfd7419c0c,
+                "{algo} drifted from pre-refactor golden"
+            );
+            assert_eq!(s.placements.len(), 24, "{algo}");
+        }
+    }
+
+    #[test]
+    fn finite_slew_limit_yields_feasible_placements() {
+        use fastbuf_rctree::elmore::evaluate_with;
+        let lib = paper_lib(8);
+        let tree = two_pin_line(10.0, 9, 2000.0);
+        let unconstrained = Solver::new(&tree, &lib).solve();
+        let unc_eval =
+            fastbuf_rctree::elmore::evaluate(&tree, &lib, &unconstrained.placement_pairs())
+                .unwrap();
+        // Pick a limit tighter than the unconstrained solution's worst slew
+        // but loose enough that buffering can meet it.
+        let limit = unc_eval.max_slew * 0.8;
+        let sol = Solver::new(&tree, &lib).slew_limit(limit).solve();
+        assert!(sol.slew_ok, "line with 9 sites must be feasible");
+        let eval = evaluate_with(&tree, &lib, &sol.placement_pairs(), &ElmoreModel).unwrap();
+        assert!(
+            eval.max_slew.value() <= limit.value() * (1.0 + 1e-9),
+            "forward slew {} exceeds limit {}",
+            eval.max_slew,
+            limit
+        );
+        // Tightening a constraint can only cost slack.
+        assert!(sol.slack.value() <= unconstrained.slack.value() + 1e-15);
+        sol.verify(&tree, &lib).unwrap();
+    }
+
+    #[test]
+    fn tighter_limits_need_at_least_as_many_buffers() {
+        let lib = paper_lib(8);
+        let tree = two_pin_line(12.0, 11, 3000.0);
+        let loose = Solver::new(&tree, &lib)
+            .slew_limit(Seconds::from_pico(400.0))
+            .solve();
+        let tight = Solver::new(&tree, &lib)
+            .slew_limit(Seconds::from_pico(120.0))
+            .solve();
+        assert!(loose.slew_ok && tight.slew_ok);
+        assert!(tight.placements.len() >= loose.placements.len());
+        assert!(tight.slack.value() <= loose.slack.value() + 1e-15);
+    }
+
+    #[test]
+    fn infeasible_slew_limit_is_flagged_not_panicked() {
+        // No buffer sites on a long wire: nothing can fix the slew.
+        let tree = two_pin_line(10.0, 0, 2000.0);
+        let lib = paper_lib(4);
+        let sol = Solver::new(&tree, &lib)
+            .slew_limit(Seconds::from_pico(1.0))
+            .solve();
+        assert!(!sol.slew_ok);
+        assert!(sol.root_slew > Seconds::from_pico(1.0));
+        // Best-effort solution still verifies as a timing solution.
+        sol.verify(&tree, &lib).unwrap();
+    }
+
+    #[test]
+    fn scaled_elmore_backend_solves_and_verifies() {
+        use fastbuf_rctree::ScaledElmoreModel;
+        use std::sync::Arc;
+        let lib = paper_lib(8);
+        let tree = two_pin_line(10.0, 9, 2000.0);
+        let model = Arc::new(ScaledElmoreModel::default());
+        let sol = Solver::new(&tree, &lib).delay_model(model.clone()).solve();
+        // Predicted slack must match a forward evaluation under the same
+        // model (and differ from the Elmore prediction on this wire-heavy
+        // net).
+        sol.verify_with(&tree, &lib, &*model).unwrap();
+        let elmore = Solver::new(&tree, &lib).solve();
+        assert!(
+            (sol.slack.value() - elmore.slack.value()).abs() > 1e-15,
+            "scaled model should change the optimum on a wire-dominated net"
+        );
+        assert!(sol.slack > elmore.slack, "less wire delay -> more slack");
+        // And the scaled backend honours slew limits too.
+        let constrained = Solver::new(&tree, &lib)
+            .delay_model(model.clone())
+            .slew_limit(Seconds::from_pico(150.0))
+            .solve();
+        assert!(constrained.slew_ok);
+        let eval = fastbuf_rctree::elmore::evaluate_with(
+            &tree,
+            &lib,
+            &constrained.placement_pairs(),
+            &*model,
+        )
+        .unwrap();
+        assert!(eval.max_slew.picos() <= 150.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_in_slew_mode() {
+        let lib = paper_lib(8);
+        let mut ws = SolveWorkspace::new();
+        for (mm, sites) in [(10.0, 9), (6.0, 25)] {
+            let tree = two_pin_line(mm, sites, 2000.0);
+            let mk = || Solver::new(&tree, &lib).slew_limit(Seconds::from_pico(200.0));
+            let reused = mk().solve_with(&mut ws);
+            let fresh = mk().solve();
+            assert_eq!(reused.slack, fresh.slack);
+            assert_eq!(reused.placements, fresh.placements);
+            assert_eq!(reused.slew_ok, fresh.slew_ok);
+        }
     }
 
     #[test]

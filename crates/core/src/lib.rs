@@ -58,6 +58,7 @@ mod hull;
 mod merge;
 pub mod polarity;
 mod pool;
+mod slew;
 mod solution;
 mod stats;
 
@@ -65,6 +66,9 @@ pub use arena::{PredArena, PredEntry, PredRef};
 pub use buffering::Algorithm;
 pub use candidate::{Candidate, CandidateList};
 pub use engine::{SolveWorkspace, Solver, SolverOptions};
+// Re-exported so solver users can configure `SolverOptions::delay_model`
+// without importing `fastbuf-rctree` directly.
+pub use fastbuf_rctree::delay::{DelayModel, ElmoreModel, ScaledElmoreModel};
 pub use hull::{convex_prune_in_place, prunes_middle, upper_hull_into};
 pub use merge::merge_branches;
 pub use solution::{Placement, Solution, VerifyError};

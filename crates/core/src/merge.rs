@@ -27,17 +27,24 @@ pub fn merge_branches(
     track: bool,
 ) -> CandidateList {
     let mut pool = CandidatePool::default();
-    merge_branches_pooled(left, right, arena, track, &mut pool)
+    merge_branches_pooled(left, right, arena, track, &mut pool, f64::INFINITY)
 }
 
 /// [`merge_branches`] with recycled storage: scratch and output vectors are
 /// drawn from `pool`, and the spent input lists are returned to it.
+///
+/// `slew_cap` enforces the per-net slew constraint at branch points: the
+/// merged stage delay is the worse of the two sides (`s = max(s₁, s₂)` —
+/// both branches' endpoints now share one stage), and candidates whose `s`
+/// exceeds the cap are pruned, since no upstream driver could close their
+/// stage legally (`∞` disables the check).
 pub(crate) fn merge_branches_pooled(
     left: CandidateList,
     right: CandidateList,
     arena: &mut PredArena,
     track: bool,
     pool: &mut CandidatePool,
+    slew_cap: f64,
 ) -> CandidateList {
     let l = left.as_slice();
     let r = right.as_slice();
@@ -67,7 +74,7 @@ pub(crate) fn merge_branches_pooled(
         } else {
             crate::arena::PredRef::NONE
         };
-        raw.push(Candidate::new(q, c, pred));
+        raw.push(Candidate::new(q, c, pred).with_stage_delay(a.s.max(b.s)));
         // Advance the capping side; on ties advance both (their pair was
         // just emitted; either alone would only add a dominated candidate).
         if a.q <= b.q {
@@ -98,7 +105,9 @@ pub(crate) fn merge_branches_pooled(
     pool.put(raw);
     pool.recycle(left);
     pool.recycle(right);
-    CandidateList::from_sorted(out)
+    let mut merged = CandidateList::from_sorted(out);
+    merged.prune_slew(slew_cap);
+    merged
 }
 
 #[cfg(test)]
@@ -198,6 +207,32 @@ mod tests {
             let rp = mk(&mut rnd);
             assert_eq!(merged(&lp, &rp), brute(&lp, &rp), "L={lp:?} R={rp:?}");
         }
+    }
+
+    #[test]
+    fn merged_stage_delay_is_the_worse_side() {
+        let mut arena = PredArena::new();
+        let l = CandidateList::from_sorted(vec![cand(1.0, 1.0).with_stage_delay(3.0)]);
+        let r = CandidateList::from_sorted(vec![cand(2.0, 2.0).with_stage_delay(7.0)]);
+        let out = merge_branches(l, r, &mut arena, false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.as_slice()[0].s, 7.0);
+    }
+
+    #[test]
+    fn slew_cap_prunes_merged_candidates() {
+        let mut arena = PredArena::new();
+        let mut pool = CandidatePool::default();
+        let l = CandidateList::from_sorted(vec![
+            cand(1.0, 1.0).with_stage_delay(0.5),
+            cand(5.0, 3.0).with_stage_delay(9.0), // will violate after merge
+        ]);
+        let r = CandidateList::from_sorted(vec![cand(2.0, 2.0).with_stage_delay(1.0)]);
+        let out = merge_branches_pooled(l, r, &mut arena, false, &mut pool, 2.0);
+        // Pairs: (1, 3, s=1) kept; (2, 5, s=9) pruned by the cap.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.as_slice()[0].s, 1.0);
+        assert_eq!((out.as_slice()[0].q, out.as_slice()[0].c), (1.0, 3.0));
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::arena::{PredArena, PredRef};
 use crate::buffering::{find_betas, Algorithm, Scratch};
 use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
 use crate::merge::merge_branches;
+use crate::slew::SlewPolicy;
 use crate::solution::Placement;
 use crate::stats::SolveStats;
 
@@ -461,6 +462,7 @@ impl<'a> PolaritySolver<'a> {
                 arena,
                 true,
                 scratch,
+                &SlewPolicy::unlimited(),
                 stats,
             ) {
                 continue;

@@ -70,6 +70,17 @@ pub struct Solution {
     pub algorithm: Algorithm,
     /// Whether placements were reconstructed.
     pub tracked: bool,
+    /// Output slew the source driver produces at the worst endpoint of its
+    /// root stage (the unbuffered region below the source), under the
+    /// solve's delay model. When a slew limit was active and
+    /// [`Solution::slew_ok`] is `true`, every deeper stage met the limit at
+    /// construction time, so this is also a certificate for the whole net.
+    pub root_slew: Seconds,
+    /// `true` when no slew limit was set, or when the chosen solution
+    /// satisfies it. `false` means the net is infeasible under the limit
+    /// (e.g. no buffer sites on an over-long wire) and the returned
+    /// solution is best-effort.
+    pub slew_ok: bool,
     /// Operation counters and timing.
     pub stats: SolveStats,
 }
@@ -98,11 +109,29 @@ impl Solution {
         tree: &RoutingTree,
         library: &BufferLibrary,
     ) -> Result<Seconds, VerifyError> {
+        self.verify_with(tree, library, &fastbuf_rctree::ElmoreModel)
+    }
+
+    /// [`Solution::verify`] under an arbitrary delay model — required when
+    /// the solution was produced with a non-Elmore
+    /// [`delay_model`](crate::SolverOptions::delay_model), since the
+    /// forward measurement must use the same arithmetic the DP predicted
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Solution::verify`].
+    pub fn verify_with(
+        &self,
+        tree: &RoutingTree,
+        library: &BufferLibrary,
+        model: &dyn fastbuf_rctree::DelayModel,
+    ) -> Result<Seconds, VerifyError> {
         if !self.tracked {
             return Err(VerifyError::NotTracked);
         }
-        let report =
-            elmore::evaluate(tree, library, &self.placement_pairs()).map_err(VerifyError::Tree)?;
+        let report = elmore::evaluate_with(tree, library, &self.placement_pairs(), model)
+            .map_err(VerifyError::Tree)?;
         let predicted = self.slack.value();
         let measured = report.slack.value();
         let tol = 1e-9 * predicted.abs().max(measured.abs()).max(1e-12);

@@ -34,6 +34,10 @@ pub struct SolveStats {
     /// Candidates removed by *permanent* convex pruning
     /// ([`Algorithm::LiShiPermanent`](crate::Algorithm) only).
     pub convex_pruned: u64,
+    /// Candidates removed because their stage wire delay already violated
+    /// the slew limit (0 in unconstrained solves; wire steps only — merge
+    /// prunes are enforced but not counted).
+    pub slew_pruned: u64,
     /// Largest candidate list seen at any node.
     pub max_list_len: usize,
     /// Candidate list length at the root.
@@ -61,7 +65,7 @@ impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} arena={} | {:?}",
+            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} slew_pruned={} arena={} | {:?}",
             self.wire_ops,
             self.merge_ops,
             self.addbuffer_ops,
@@ -72,6 +76,7 @@ impl fmt::Display for SolveStats {
             self.max_list_len,
             self.root_list_len,
             self.convex_pruned,
+            self.slew_pruned,
             self.arena_entries,
             self.elapsed,
         )

@@ -37,13 +37,14 @@
 #![deny(missing_debug_implementations)]
 
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
-use fastbuf_core::{Algorithm, Solver};
+use fastbuf_core::{Algorithm, DelayModel, ElmoreModel, Solver};
 use fastbuf_netgen::SuiteSpec;
 use fastbuf_rctree::{elmore, RoutingTree};
 
@@ -132,6 +133,7 @@ impl DesignSpec {
             max_sinks: self.max_sinks,
             site_pitch: self.site_pitch,
             seed: self.seed,
+            slew_stress: false,
         };
         let mut design = Design::new();
         for i in 0..self.nets {
@@ -148,6 +150,11 @@ pub struct DesignSolveOptions {
     pub algorithm: Algorithm,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<NonZeroUsize>,
+    /// Wire-delay/slew model applied to every net.
+    pub delay_model: Arc<dyn DelayModel>,
+    /// Optional per-net maximum output slew — the design-level scenario
+    /// knob for slew-constrained signoff runs.
+    pub slew_limit: Option<Seconds>,
 }
 
 impl Default for DesignSolveOptions {
@@ -155,6 +162,8 @@ impl Default for DesignSolveOptions {
         DesignSolveOptions {
             algorithm: Algorithm::LiShi,
             threads: None,
+            delay_model: Arc::new(ElmoreModel),
+            slew_limit: None,
         }
     }
 }
@@ -172,6 +181,8 @@ pub struct NetResult {
     pub buffers: usize,
     /// Total buffer cost.
     pub cost: f64,
+    /// `false` when a slew limit was set and this net could not meet it.
+    pub slew_ok: bool,
     /// Per-net solve time.
     pub elapsed: Duration,
 }
@@ -197,6 +208,8 @@ pub struct DesignReport {
     pub elapsed: Duration,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Number of nets that could not meet the slew limit.
+    pub slew_violations: usize,
 }
 
 /// Buffers every net of `design` with `library`, in parallel, and
@@ -238,17 +251,23 @@ pub fn solve_design(
                 while let Ok(i) = rx.recv() {
                     let net = &slot_refs[i];
                     let t0 = Instant::now();
-                    let before = elmore::evaluate(&net.tree, library, &[])
-                        .expect("empty assignment is always legal");
-                    let sol = Solver::new(&net.tree, library)
+                    let before =
+                        elmore::evaluate_with(&net.tree, library, &[], &*options.delay_model)
+                            .expect("empty assignment is always legal");
+                    let mut solver = Solver::new(&net.tree, library)
                         .algorithm(options.algorithm)
-                        .solve();
+                        .delay_model(Arc::clone(&options.delay_model));
+                    if let Some(limit) = options.slew_limit {
+                        solver = solver.slew_limit(limit);
+                    }
+                    let sol = solver.solve();
                     let result = NetResult {
                         name: net.name.clone(),
                         slack_before: before.slack,
                         slack_after: sol.slack,
                         buffers: sol.placements.len(),
                         cost: sol.total_cost(library),
+                        slew_ok: sol.slew_ok,
                         elapsed: t0.elapsed(),
                     };
                     results.lock().expect("no panics hold the lock")[i] = Some(result);
@@ -270,6 +289,7 @@ pub fn solve_design(
         total_cost: 0.0,
         elapsed: start.elapsed(),
         threads,
+        slew_violations: 0,
         nets,
     };
     for n in &report.nets {
@@ -279,6 +299,7 @@ pub fn solve_design(
         report.tns_after += n.slack_after.min(Seconds::ZERO);
         report.total_buffers += n.buffers;
         report.total_cost += n.cost;
+        report.slew_violations += usize::from(!n.slew_ok);
     }
     report
 }
@@ -392,6 +413,46 @@ mod tests {
             );
         }
         assert!((a.wns_after.picos() - b.wns_after.picos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slew_limited_signoff_reports_violations() {
+        let design = small_design();
+        let lib = BufferLibrary::paper_synthetic(8).unwrap();
+        let unconstrained = solve_design(&design, &lib, &DesignSolveOptions::default());
+        assert_eq!(unconstrained.slew_violations, 0);
+        let constrained = solve_design(
+            &design,
+            &lib,
+            &DesignSolveOptions {
+                slew_limit: Some(Seconds::from_pico(150.0)),
+                ..DesignSolveOptions::default()
+            },
+        );
+        assert_eq!(constrained.nets.len(), design.nets.len());
+        assert_eq!(
+            constrained.slew_violations,
+            constrained.nets.iter().filter(|n| !n.slew_ok).count()
+        );
+        // Tightening a constraint can only cost slack.
+        assert!(constrained.wns_after.value() <= unconstrained.wns_after.value() + 1e-15);
+    }
+
+    #[test]
+    fn scaled_model_design_runs() {
+        use fastbuf_core::ScaledElmoreModel;
+        let design = small_design();
+        let lib = BufferLibrary::paper_synthetic(4).unwrap();
+        let report = solve_design(
+            &design,
+            &lib,
+            &DesignSolveOptions {
+                delay_model: Arc::new(ScaledElmoreModel::default()),
+                ..DesignSolveOptions::default()
+            },
+        );
+        assert_eq!(report.nets.len(), design.nets.len());
+        assert!(report.wns_after >= report.wns_before);
     }
 
     #[test]

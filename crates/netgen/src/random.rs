@@ -142,7 +142,7 @@ impl RandomNetSpec {
                 .min_by(|a, b| {
                     let da = (a.0 - x).abs() + (a.1 - y).abs();
                     let db = (b.0 - x).abs() + (b.1 - y).abs();
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 })
                 .expect("source is always routed");
             let dist = (px - x).abs() + (py - y).abs();

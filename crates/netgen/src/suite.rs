@@ -62,6 +62,12 @@ pub struct SuiteSpec {
     pub site_pitch: Microns,
     /// Master seed; net `i` uses `seed + i`.
     pub seed: u64,
+    /// Slew-stress scenario: stretch every die by 2.5×, so unbuffered
+    /// stage delays (and therefore output slews) grow far past typical
+    /// limits and slew-constrained solving actually binds. Off by default;
+    /// used by the `slew_sweep` bench and `fastbuf gen suite
+    /// --slew-stress`.
+    pub slew_stress: bool,
 }
 
 impl Default for SuiteSpec {
@@ -71,6 +77,7 @@ impl Default for SuiteSpec {
             max_sinks: 256,
             site_pitch: Microns::new(200.0),
             seed: 1,
+            slew_stress: false,
         }
     }
 }
@@ -91,11 +98,13 @@ impl SuiteSpec {
         assert!(self.max_sinks >= 8, "max_sinks must be at least 8");
         let seed = self.seed.wrapping_add(i as u64);
         let sinks = self.sinks_of(i);
+        let die = 400.0 + 120.0 * (sinks as f64).sqrt();
+        let die = if self.slew_stress { die * 2.5 } else { die };
         RandomNetSpec {
             sinks,
             seed,
             site_pitch: Some(self.site_pitch),
-            die: Microns::new(400.0 + 120.0 * (sinks as f64).sqrt()),
+            die: Microns::new(die),
             ..RandomNetSpec::default()
         }
         .build()
@@ -170,6 +179,31 @@ mod tests {
                 fastbuf_rctree::io::write(&spec.build_net(i))
             );
             assert_eq!(t.sink_count(), spec.sinks_of(i));
+        }
+    }
+
+    #[test]
+    fn slew_stress_stretches_wirelength() {
+        let base = SuiteSpec {
+            nets: 4,
+            seed: 9,
+            ..SuiteSpec::default()
+        };
+        let stressed = SuiteSpec {
+            slew_stress: true,
+            ..base.clone()
+        };
+        for i in 0..4 {
+            let a = base.build_net(i);
+            let b = stressed.build_net(i);
+            assert_eq!(a.sink_count(), b.sink_count());
+            // Longer wires -> more buffer sites at the same pitch.
+            assert!(
+                b.buffer_site_count() > a.buffer_site_count(),
+                "net {i}: {} vs {}",
+                b.buffer_site_count(),
+                a.buffer_site_count()
+            );
         }
     }
 

@@ -19,6 +19,7 @@
 use fastbuf_buflib::units::{Farads, Seconds};
 use fastbuf_buflib::{BufferLibrary, BufferTypeId};
 
+use crate::delay::{DelayModel, ElmoreModel};
 use crate::error::TreeError;
 use crate::node::{NodeId, NodeKind};
 use crate::tree::RoutingTree;
@@ -38,6 +39,11 @@ pub struct EvalReport {
     pub total_cost: f64,
     /// Capacitive load presented to the source driver.
     pub root_load: Farads,
+    /// Worst forward-propagated output slew over every stage endpoint
+    /// (buffer inputs and sinks) — see [`crate::delay`] for the slew model.
+    pub max_slew: Seconds,
+    /// The endpoint attaining [`EvalReport::max_slew`].
+    pub worst_slew_node: NodeId,
 }
 
 /// Evaluates `placements` (pairs of node and buffer type) on `tree`.
@@ -75,6 +81,26 @@ pub fn evaluate(
     tree: &RoutingTree,
     library: &BufferLibrary,
     placements: &[(NodeId, BufferTypeId)],
+) -> Result<EvalReport, TreeError> {
+    evaluate_with(tree, library, placements, &ElmoreModel)
+}
+
+/// [`evaluate`] under an arbitrary [`DelayModel`].
+///
+/// With [`ElmoreModel`] this is bit-identical to [`evaluate`] (the default
+/// model reproduces the hard-coded Elmore arithmetic exactly). The report
+/// additionally carries the worst forward-propagated output slew, computed
+/// stage by stage: a stage starts at the source driver or at a buffer
+/// output and ends at the next buffer inputs / sinks downstream.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_with(
+    tree: &RoutingTree,
+    library: &BufferLibrary,
+    placements: &[(NodeId, BufferTypeId)],
+    model: &dyn DelayModel,
 ) -> Result<EvalReport, TreeError> {
     let n = tree.node_count();
     let mut assigned: Vec<Option<BufferTypeId>> = vec![None; n];
@@ -117,19 +143,71 @@ pub fn evaluate(
     }
 
     // Pass 2 (top-down, parents before children): arrival time at each
-    // node's *output* (after its buffer, if any).
+    // node's *output* (after its buffer, if any), plus per-stage slew
+    // bookkeeping. A stage is rooted at the source or at a buffered node;
+    // `stage_delay` is the in-stage wire delay from the stage driver's
+    // output to this node's input, `stage_root` the driving node.
     let mut arrival = vec![Seconds::ZERO; n];
+    let mut stage_delay = vec![0.0f64; n];
+    let mut stage_root = vec![tree.root(); n];
+    let mut max_slew = f64::NEG_INFINITY;
+    let mut worst_slew_node = tree.root();
     for &node in tree.postorder().iter().rev() {
         let i = node.index();
         let at_input = match tree.parent(node) {
-            None => tree.driver().delay(load[i]),
+            None => {
+                let d = tree.driver();
+                Seconds::new(model.gate_delay(
+                    d.intrinsic_delay().value(),
+                    d.resistance().value(),
+                    load[i].value(),
+                ))
+            }
             Some(p) => {
                 let w = tree.wire_to_parent(node).expect("non-root has a wire");
-                arrival[p.index()] + w.delay(visible[i])
+                let wd = model.wire_delay(
+                    w.resistance().value(),
+                    w.capacitance().value(),
+                    visible[i].value(),
+                );
+                let pi = p.index();
+                if assigned[pi].is_some() {
+                    stage_delay[i] = wd;
+                    stage_root[i] = p;
+                } else {
+                    stage_delay[i] = stage_delay[pi] + wd;
+                    stage_root[i] = stage_root[pi];
+                }
+                arrival[pi] + Seconds::new(wd)
             }
         };
+        // Stage endpoints are buffer inputs and sinks: measure the slew
+        // the stage driver produces there.
+        if assigned[i].is_some() || tree.kind(node).is_sink() {
+            let root = stage_root[i];
+            let (slew0, r) = match assigned[root.index()] {
+                Some(buf) => {
+                    let b = library.get(buf);
+                    (b.output_slew().value(), b.driving_resistance().value())
+                }
+                None => (0.0, tree.driver().resistance().value()),
+            };
+            let slew = model.slew(slew0, r, load[root.index()].value(), stage_delay[i]);
+            if slew > max_slew {
+                max_slew = slew;
+                worst_slew_node = node;
+            }
+        }
         arrival[i] = match assigned[i] {
-            Some(buf) => at_input + library.get(buf).delay(load[i]),
+            Some(buf) => {
+                let b = library.get(buf);
+                at_input
+                    + Seconds::new(model.gate_delay(
+                        b.intrinsic_delay().value(),
+                        b.driving_resistance().value(),
+                        load[i].value(),
+                    ))
+            }
             None => at_input,
         };
     }
@@ -159,6 +237,8 @@ pub fn evaluate(
         buffer_count: placements.len(),
         total_cost,
         root_load: load[tree.root().index()],
+        max_slew: Seconds::new(max_slew),
+        worst_slew_node,
     })
 }
 
@@ -387,6 +467,111 @@ mod tests {
         let down = downstream_capacitance(&tree);
         assert!((down[tee.index()].femtos() - 10.0).abs() < 1e-9); // 1+3 + 2+4
         assert!((down[src.index()].femtos() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slews_hand_computed_per_stage() {
+        use crate::delay::LN9;
+        let lib = lib1();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(200.0)));
+        let mid = b.buffer_site();
+        let s = b.sink(Farads::from_femto(5.0), Seconds::from_pico(1000.0));
+        let w = Wire::new(Ohms::new(400.0), Farads::from_femto(40.0));
+        b.connect(src, mid, w).unwrap();
+        b.connect(mid, s, w).unwrap();
+        let tree = b.build().unwrap();
+
+        // Unbuffered: one stage, endpoint = sink.
+        // stage wire delay = 400·(20+45) + 400·(20+5) = 36 ps;
+        // slew = ln9·(200·85 fF + 36 ps) = ln9·53 ps.
+        let unbuf = evaluate(&tree, &lib, &[]).unwrap();
+        assert!((unbuf.max_slew.picos() - LN9 * 53.0).abs() < 1e-9);
+        assert_eq!(unbuf.worst_slew_node, s);
+
+        // Buffered at mid: stage 1 ends at the buffer input
+        // (ln9·(200·45 + 10) = ln9·19 ps... wait, 200·45 fF = 9 ps), stage 2
+        // at the sink (ln9·(100·45 fF + 10 ps) = ln9·14.5 ps).
+        let buf = evaluate(&tree, &lib, &[(mid, BufferTypeId::new(0))]).unwrap();
+        assert!(
+            (buf.max_slew.picos() - LN9 * 19.0).abs() < 1e-9,
+            "{}",
+            buf.max_slew
+        );
+        assert_eq!(buf.worst_slew_node, mid);
+        // Buffering strictly reduces the worst slew here.
+        assert!(buf.max_slew < unbuf.max_slew);
+    }
+
+    #[test]
+    fn buffer_output_slew_adds_to_stage_slew() {
+        use crate::delay::LN9;
+        let lib = BufferLibrary::new(vec![BufferType::new(
+            "b",
+            Ohms::new(100.0),
+            Farads::from_femto(5.0),
+            Seconds::from_pico(20.0),
+        )
+        .with_output_slew(Seconds::from_pico(20.0))])
+        .unwrap();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(200.0)));
+        let mid = b.buffer_site();
+        let s = b.sink(Farads::from_femto(5.0), Seconds::from_pico(1000.0));
+        let w = Wire::new(Ohms::new(400.0), Farads::from_femto(40.0));
+        b.connect(src, mid, w).unwrap();
+        b.connect(mid, s, w).unwrap();
+        let tree = b.build().unwrap();
+        let buf = evaluate(&tree, &lib, &[(mid, BufferTypeId::new(0))]).unwrap();
+        // Driver stage ends at the buffer input: ln9·(200·45 fF + 10 ps) =
+        // ln9·19 ≈ 41.7 ps. Buffer stage ends at the sink and now carries
+        // the intrinsic output slew: 20 + ln9·14.5 ≈ 51.9 ps — the worst.
+        let expected = 20.0 + LN9 * 14.5;
+        assert!(
+            (buf.max_slew.picos() - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            buf.max_slew.picos()
+        );
+        assert_eq!(buf.worst_slew_node, s);
+    }
+
+    #[test]
+    fn evaluate_with_elmore_is_bit_identical_to_evaluate() {
+        let lib = lib1();
+        let tech = Technology::tsmc180_like();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(300.0)));
+        let mid = b.buffer_site();
+        let s = b.sink(Farads::from_femto(12.0), Seconds::from_pico(700.0));
+        b.connect(src, mid, Wire::from_length(&tech, Microns::new(2500.0)))
+            .unwrap();
+        b.connect(mid, s, Wire::from_length(&tech, Microns::new(2500.0)))
+            .unwrap();
+        let tree = b.build().unwrap();
+        for placements in [vec![], vec![(mid, BufferTypeId::new(0))]] {
+            let a = evaluate(&tree, &lib, &placements).unwrap();
+            let b = evaluate_with(&tree, &lib, &placements, &ElmoreModel).unwrap();
+            assert_eq!(a.slack.value().to_bits(), b.slack.value().to_bits());
+            assert_eq!(a.max_slew.value().to_bits(), b.max_slew.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn scaled_elmore_shrinks_wire_dominated_delay() {
+        use crate::delay::ScaledElmoreModel;
+        let tech = Technology::tsmc180_like();
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(100.0)));
+        let s = b.sink(Farads::from_femto(5.0), Seconds::from_pico(1000.0));
+        b.connect(src, s, Wire::from_length(&tech, Microns::new(8000.0)))
+            .unwrap();
+        let tree = b.build().unwrap();
+        let lib = BufferLibrary::empty();
+        let elmore = evaluate(&tree, &lib, &[]).unwrap();
+        let scaled = evaluate_with(&tree, &lib, &[], &ScaledElmoreModel::default()).unwrap();
+        // Less wire delay -> more slack, smaller slew.
+        assert!(scaled.slack > elmore.slack);
+        assert!(scaled.max_slew < elmore.max_slew);
     }
 
     #[test]

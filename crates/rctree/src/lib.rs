@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod delay;
 pub mod elmore;
 mod error;
 pub mod io;
@@ -54,6 +55,7 @@ pub mod segment;
 mod stats;
 mod tree;
 
+pub use delay::{model_by_name, DelayModel, ElmoreModel, ScaledElmoreModel};
 pub use error::TreeError;
 pub use node::{NodeId, NodeKind, SiteConstraint, Wire};
 pub use stats::TreeStats;

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &lib,
             &DesignSolveOptions {
                 algorithm,
-                threads: None,
+                ..DesignSolveOptions::default()
             },
         );
         println!(
@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &DesignSolveOptions {
             algorithm: Algorithm::LiShi,
             threads: NonZeroUsize::new(1),
+            ..DesignSolveOptions::default()
         },
     );
     let parallel = solve_design(&design, &lib, &DesignSolveOptions::default());

@@ -58,8 +58,8 @@ pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
-    CandidateList, Placement, PredArena, PredEntry, PredRef, Solution, SolveStats, SolveWorkspace,
-    Solver, SolverOptions, VerifyError,
+    CandidateList, DelayModel, ElmoreModel, Placement, PredArena, PredEntry, PredRef,
+    ScaledElmoreModel, Solution, SolveStats, SolveWorkspace, Solver, SolverOptions, VerifyError,
 };
 
 /// One-stop imports for applications: solver, library, tree-building and
@@ -72,6 +72,8 @@ pub mod prelude {
     };
     pub use fastbuf_core::cost::CostSolver;
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
-    pub use fastbuf_core::{Algorithm, Solution, SolveWorkspace, Solver};
+    pub use fastbuf_core::{
+        Algorithm, DelayModel, ElmoreModel, ScaledElmoreModel, Solution, SolveWorkspace, Solver,
+    };
     pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
 }

@@ -1,0 +1,208 @@
+//! Degenerate-net audit (panic-freedom satellite): solving trees with zero
+//! buffer sites, a single sink directly on the source, zero-length wires,
+//! or empty/over-constrained libraries must return a valid `Solution` —
+//! never panic — on every algorithm, with and without a slew limit, and
+//! through every solver entry point (plain, workspace-reuse, cost
+//! frontier, batch).
+
+use fastbuf::netgen;
+use fastbuf::prelude::*;
+use fastbuf::rctree::{elmore, RoutingTree};
+use std::sync::Arc;
+
+fn sink_on_source(wire: Wire) -> RoutingTree {
+    let mut b = TreeBuilder::new();
+    let src = b.source(Driver::new(Ohms::new(180.0)));
+    let snk = b.sink(Farads::from_femto(10.0), Seconds::from_pico(500.0));
+    b.connect(src, snk, wire).unwrap();
+    b.build().unwrap()
+}
+
+fn degenerate_nets() -> Vec<(&'static str, RoutingTree)> {
+    let tech = Technology::tsmc180_like();
+    let mut nets: Vec<(&'static str, RoutingTree)> = Vec::new();
+
+    // Single sink directly on the source through a zero wire.
+    nets.push(("sink-on-source/zero-wire", sink_on_source(Wire::zero())));
+    // ... and through a real wire, still with zero buffer sites.
+    nets.push((
+        "sink-on-source/long-wire",
+        sink_on_source(Wire::from_length(&tech, Microns::new(5000.0))),
+    ));
+
+    // Zero-capacitance sink with zero RAT.
+    {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::default());
+        let snk = b.sink(Farads::ZERO, Seconds::ZERO);
+        b.connect(src, snk, Wire::zero()).unwrap();
+        nets.push(("zero-sink/ideal-driver", b.build().unwrap()));
+    }
+
+    // A site chain where every wire is zero-length.
+    {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(100.0)));
+        let mut prev = src;
+        for _ in 0..4 {
+            let s = b.buffer_site();
+            b.connect(prev, s, Wire::zero()).unwrap();
+            prev = s;
+        }
+        let snk = b.sink(Farads::from_femto(5.0), Seconds::from_pico(100.0));
+        b.connect(prev, snk, Wire::zero()).unwrap();
+        nets.push(("zero-length-chain", b.build().unwrap()));
+    }
+
+    // Branching with zero wires and mixed zero/real branches.
+    {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(250.0)));
+        let tee = b.internal();
+        let site = b.buffer_site();
+        let k1 = b.sink(Farads::ZERO, Seconds::from_pico(50.0));
+        let k2 = b.sink(Farads::from_femto(30.0), Seconds::from_pico(900.0));
+        b.connect(src, tee, Wire::zero()).unwrap();
+        b.connect(tee, k1, Wire::zero()).unwrap();
+        b.connect(tee, site, Wire::from_length(&tech, Microns::new(3000.0)))
+            .unwrap();
+        b.connect(site, k2, Wire::zero()).unwrap();
+        nets.push(("zero-wire-tee", b.build().unwrap()));
+    }
+
+    // A site whose subset constraint is empty (behaves like not-a-site).
+    {
+        let mut b = TreeBuilder::new();
+        let src = b.source(Driver::new(Ohms::new(100.0)));
+        let mid = b.internal_with(SiteConstraint::Subset(Arc::new(
+            fastbuf::buflib::BufferSet::empty(4),
+        )));
+        let snk = b.sink(Farads::from_femto(8.0), Seconds::from_pico(400.0));
+        b.connect(src, mid, Wire::from_length(&tech, Microns::new(1000.0)))
+            .unwrap();
+        b.connect(mid, snk, Wire::from_length(&tech, Microns::new(1000.0)))
+            .unwrap();
+        nets.push(("empty-subset-site", b.build().unwrap()));
+    }
+
+    // Zero-site line from the generator.
+    nets.push(("line/no-sites", netgen::line_net(Microns::new(4000.0), 0)));
+
+    nets
+}
+
+fn libraries() -> Vec<(&'static str, BufferLibrary)> {
+    vec![
+        ("empty", BufferLibrary::empty()),
+        ("paper/4", BufferLibrary::paper_synthetic(4).unwrap()),
+        (
+            "all-over-limited",
+            // Every type's max_load is tiny: no candidate ever fits.
+            BufferLibrary::new(vec![BufferType::new(
+                "choked",
+                Ohms::new(100.0),
+                Farads::from_femto(1.0),
+                Seconds::from_pico(10.0),
+            )
+            .with_max_load(Farads::new(1e-21))])
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_degenerate_net_solves_without_panicking() {
+    for (net_name, tree) in degenerate_nets() {
+        for (lib_name, lib) in libraries() {
+            for algo in Algorithm::ALL {
+                for slew_limit in [None, Some(Seconds::from_pico(50.0))] {
+                    let mut solver = Solver::new(&tree, &lib).algorithm(algo);
+                    if let Some(limit) = slew_limit {
+                        solver = solver.slew_limit(limit);
+                    }
+                    let sol = solver.solve();
+                    assert!(
+                        !sol.slack.value().is_nan(),
+                        "{net_name}/{lib_name}/{algo}: NaN slack"
+                    );
+                    // The reconstruction must be legal and reproduce the
+                    // predicted slack on the forward evaluator.
+                    sol.verify(&tree, &lib)
+                        .unwrap_or_else(|e| panic!("{net_name}/{lib_name}/{algo}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_reuse_handles_degenerate_nets() {
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+    let mut ws = SolveWorkspace::new();
+    // Interleave degenerate and normal nets through one workspace.
+    for (name, tree) in degenerate_nets() {
+        let reused = Solver::new(&tree, &lib).solve_with(&mut ws);
+        let fresh = Solver::new(&tree, &lib).solve();
+        assert_eq!(reused.slack, fresh.slack, "{name}");
+        assert_eq!(reused.placements, fresh.placements, "{name}");
+        let normal = netgen::line_net(Microns::new(8000.0), 7);
+        let _ = Solver::new(&normal, &lib).solve_with(&mut ws);
+    }
+}
+
+#[test]
+fn untracked_degenerate_solves_are_panic_free() {
+    let lib = BufferLibrary::paper_synthetic(2).unwrap();
+    for (name, tree) in degenerate_nets() {
+        let sol = Solver::new(&tree, &lib).track_predecessors(false).solve();
+        assert!(sol.placements.is_empty(), "{name}");
+        assert!(!sol.slack.value().is_nan(), "{name}");
+    }
+}
+
+#[test]
+fn cost_frontier_handles_degenerate_nets() {
+    let lib = BufferLibrary::paper_synthetic(2).unwrap();
+    for (name, tree) in degenerate_nets() {
+        let frontier = CostSolver::new(&tree, &lib)
+            .max_cost(20)
+            .solve()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!frontier.points.is_empty(), "{name}: empty frontier");
+        assert_eq!(frontier.points[0].cost, 0, "{name}");
+    }
+}
+
+#[test]
+fn batch_handles_degenerate_fleets() {
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+    let nets: Vec<RoutingTree> = degenerate_nets().into_iter().map(|(_, t)| t).collect();
+    let report = fastbuf::batch::BatchSolver::new(&nets, &lib)
+        .workers(2)
+        .slew_limit(Seconds::from_pico(100.0))
+        .solve();
+    assert_eq!(report.outcomes.len(), nets.len());
+    for o in &report.outcomes {
+        assert!(!o.slack.value().is_nan(), "net {}", o.index);
+    }
+}
+
+#[test]
+fn unbuffered_degenerate_slack_matches_oracle() {
+    // The DP on a siteless net must equal the plain forward evaluation.
+    for (name, tree) in degenerate_nets() {
+        if tree.buffer_site_count() != 0 {
+            continue;
+        }
+        let lib = BufferLibrary::paper_synthetic(4).unwrap();
+        let sol = Solver::new(&tree, &lib).solve();
+        let eval = elmore::evaluate(&tree, &lib, &[]).unwrap();
+        assert!(
+            (sol.slack.value() - eval.slack.value()).abs()
+                <= 1e-9 * sol.slack.value().abs().max(1e-15),
+            "{name}: {} vs {}",
+            sol.slack,
+            eval.slack
+        );
+    }
+}
