@@ -1,0 +1,188 @@
+//! The typed error surface of the request layer.
+//!
+//! Every entry point of `fastbuf-api` returns `Result<_, SolveError>`;
+//! nothing in the request layer panics on user input. The enum is
+//! `#[non_exhaustive]` so new failure modes can be added without a
+//! breaking release.
+
+use std::error::Error;
+use std::fmt;
+
+use fastbuf_core::cost::CostError;
+use fastbuf_core::polarity::PolarityError;
+use fastbuf_core::VerifyError;
+
+/// Errors from building or solving a
+/// [`SolveRequest`](crate::SolveRequest), or from verifying an
+/// [`Outcome`](crate::Outcome).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The request's scenario list was explicitly set to empty. (A request
+    /// that never touches scenarios solves one default scenario.)
+    NoScenarios,
+    /// Two scenarios of one request share a name; per-scenario results are
+    /// addressed by name, so names must be unique.
+    DuplicateScenario(String),
+    /// A scenario's required-time derate is not finite and positive.
+    InvalidDerate {
+        /// The offending scenario.
+        scenario: String,
+        /// The rejected factor.
+        derate: f64,
+    },
+    /// A scenario-file line gave a non-positive slew limit (use no
+    /// `slew-limit-ps=` key for "unconstrained"). The programmatic
+    /// [`Scenario`](crate::Scenario) API instead accepts such limits
+    /// best-effort, matching the legacy solver contract.
+    InvalidSlewLimit {
+        /// The offending scenario.
+        scenario: String,
+        /// The rejected limit in picoseconds.
+        limit_ps: f64,
+    },
+    /// The scenario asks for a combination the chosen
+    /// [`Objective`](crate::Objective) does not support (e.g. a non-Elmore
+    /// delay model or a slew limit with the cost-frontier or polarity DP,
+    /// which are Elmore-only — see the crate docs).
+    Unsupported {
+        /// The offending scenario.
+        scenario: String,
+        /// What was asked for and why it is unsupported.
+        reason: String,
+    },
+    /// The cost-frontier DP rejected the library.
+    Cost(CostError),
+    /// The polarity DP failed (infeasible requirements, bad sink id) or
+    /// its verification failed.
+    Polarity(PolarityError),
+    /// [`Outcome::verify`](crate::Outcome::verify) found a scenario whose
+    /// forward re-evaluation disagrees with the DP's prediction.
+    Verify {
+        /// The scenario whose verification failed.
+        scenario: String,
+        /// The underlying mismatch.
+        error: VerifyError,
+    },
+    /// A scenario file line could not be parsed
+    /// (see [`parse_scenarios`](crate::parse_scenarios)).
+    ScenarioParse {
+        /// 1-based line number in the scenario file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A scenario named a delay model that
+    /// [`model_by_name`](fastbuf_rctree::model_by_name) does not know.
+    UnknownModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoScenarios => {
+                write!(f, "the request has an empty scenario list")
+            }
+            SolveError::DuplicateScenario(name) => {
+                write!(f, "duplicate scenario name `{name}`")
+            }
+            SolveError::InvalidDerate { scenario, derate } => {
+                write!(
+                    f,
+                    "scenario `{scenario}`: RAT derate {derate} must be finite and positive"
+                )
+            }
+            SolveError::InvalidSlewLimit { scenario, limit_ps } => {
+                write!(
+                    f,
+                    "scenario `{scenario}`: slew limit {limit_ps} ps must be positive"
+                )
+            }
+            SolveError::Unsupported { scenario, reason } => {
+                write!(f, "scenario `{scenario}`: {reason}")
+            }
+            SolveError::Cost(e) => write!(f, "cost frontier: {e}"),
+            SolveError::Polarity(e) => write!(f, "polarity: {e}"),
+            SolveError::Verify { scenario, error } => {
+                write!(f, "scenario `{scenario}` failed verification: {error}")
+            }
+            SolveError::ScenarioParse { line, message } => {
+                write!(f, "scenario file line {line}: {message}")
+            }
+            SolveError::UnknownModel(name) => {
+                write!(
+                    f,
+                    "unknown delay model `{name}` (expected elmore or scaled-elmore)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Cost(e) => Some(e),
+            SolveError::Polarity(e) => Some(e),
+            SolveError::Verify { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<CostError> for SolveError {
+    fn from(e: CostError) -> Self {
+        SolveError::Cost(e)
+    }
+}
+
+impl From<PolarityError> for SolveError {
+    fn from(e: PolarityError) -> Self {
+        SolveError::Polarity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SolveError::DuplicateScenario("fast".into());
+        assert!(e.to_string().contains("fast"));
+        assert!(e.source().is_none());
+
+        let e = SolveError::Cost(CostError::NonIntegerCost {
+            buffer: "B1".into(),
+        });
+        assert!(e.to_string().contains("B1"));
+        assert!(e.source().is_some());
+
+        let e = SolveError::Verify {
+            scenario: "slow".into(),
+            error: VerifyError::NotTracked,
+        };
+        assert!(e.to_string().contains("slow"));
+        assert!(e.source().is_some());
+
+        let e = SolveError::Unsupported {
+            scenario: "s".into(),
+            reason: "cost frontier is Elmore-only".into(),
+        };
+        assert!(e.to_string().contains("Elmore-only"));
+
+        let e = SolveError::ScenarioParse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SolveError = PolarityError::Infeasible.into();
+        assert!(matches!(e, SolveError::Polarity(_)));
+        let e: SolveError = CostError::NonIntegerCost { buffer: "x".into() }.into();
+        assert!(matches!(e, SolveError::Cost(_)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Hand-rolled JSON helpers and the shared per-net record schema.
+//!
+//! The workspace builds fully offline (no serde), so JSON is emitted by
+//! hand. This module is the **single definition** of the per-net JSON
+//! schema: both `fastbuf batch --json` (via `fastbuf-batch`) and
+//! `fastbuf solve --json` serialize through [`NetRecord`], so the two
+//! commands can never drift apart.
+
+use std::time::Duration;
+
+use fastbuf_buflib::units::Seconds;
+use fastbuf_core::Placement;
+
+/// Formats an `f64` as a valid JSON number (JSON has no `Infinity`/`NaN`;
+/// those become `null`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 always includes a sign/digits; it never produces the
+        // `inf`/`NaN` spellings for finite values, so this is valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One per-net result in the shared JSON schema.
+///
+/// Field order and key names are the contract; `scenario` is emitted only
+/// when present (multi-corner `solve` runs), so single-model batch output
+/// is unchanged.
+#[derive(Clone, Debug)]
+pub struct NetRecord<'a> {
+    /// Net label (file path or generated name).
+    pub name: &'a str,
+    /// Position in the input (batch index, or 0 for single solves).
+    pub index: usize,
+    /// Scenario name for multi-corner runs (`None` omits the key).
+    pub scenario: Option<&'a str>,
+    /// Sink count.
+    pub sinks: usize,
+    /// Candidate buffer positions.
+    pub sites: usize,
+    /// Slack before buffering.
+    pub slack_before: Seconds,
+    /// Slack after buffering.
+    pub slack_after: Seconds,
+    /// Worst output slew before buffering.
+    pub slew_before: Seconds,
+    /// Worst output slew after buffering.
+    pub max_slew: Seconds,
+    /// Whether the solve met its slew limit (or had none).
+    pub slew_ok: bool,
+    /// Number of buffers inserted (reported even when `placements` is not
+    /// serialized).
+    pub buffers: usize,
+    /// Total cost of the inserted buffers.
+    pub cost: f64,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// Placement list to serialize (`None` omits the key; the `buffers`
+    /// count is emitted either way).
+    pub placements: Option<&'a [Placement]>,
+}
+
+impl NetRecord<'_> {
+    /// Serializes this record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        s.push_str(&format!("\"net\": {}, ", json_str(self.name)));
+        if let Some(scenario) = self.scenario {
+            s.push_str(&format!("\"scenario\": {}, ", json_str(scenario)));
+        }
+        s.push_str(&format!("\"index\": {}, ", self.index));
+        s.push_str(&format!("\"sinks\": {}, ", self.sinks));
+        s.push_str(&format!("\"sites\": {}, ", self.sites));
+        s.push_str(&format!(
+            "\"slack_before_ps\": {}, ",
+            json_f64(self.slack_before.picos())
+        ));
+        s.push_str(&format!(
+            "\"slack_after_ps\": {}, ",
+            json_f64(self.slack_after.picos())
+        ));
+        s.push_str(&format!(
+            "\"slew_before_ps\": {}, ",
+            json_f64(self.slew_before.picos())
+        ));
+        s.push_str(&format!(
+            "\"max_slew_ps\": {}, ",
+            json_f64(self.max_slew.picos())
+        ));
+        s.push_str(&format!(
+            "\"slew_ok\": {}, ",
+            if self.slew_ok { "true" } else { "false" }
+        ));
+        s.push_str(&format!("\"buffers\": {}, ", self.buffers));
+        s.push_str(&format!("\"cost\": {}, ", json_f64(self.cost)));
+        s.push_str(&format!(
+            "\"elapsed_us\": {}",
+            json_f64(self.elapsed.as_secs_f64() * 1e6)
+        ));
+        if let Some(placements) = self.placements {
+            s.push_str(", \"placements\": [");
+            for (j, p) in placements.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"node\": {}, \"buffer\": {}}}",
+                    p.node.index(),
+                    p.buffer.index()
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_numbers() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn record_schema_keys() {
+        let record = NetRecord {
+            name: "net00001",
+            index: 1,
+            scenario: None,
+            sinks: 3,
+            sites: 5,
+            slack_before: Seconds::from_pico(-10.0),
+            slack_after: Seconds::from_pico(25.0),
+            slew_before: Seconds::from_pico(400.0),
+            max_slew: Seconds::from_pico(120.0),
+            slew_ok: true,
+            buffers: 2,
+            cost: 12.0,
+            elapsed: Duration::from_micros(42),
+            placements: None,
+        };
+        let json = record.to_json();
+        for key in [
+            "\"net\"",
+            "\"index\"",
+            "\"sinks\"",
+            "\"sites\"",
+            "\"slack_before_ps\"",
+            "\"slack_after_ps\"",
+            "\"slew_before_ps\"",
+            "\"max_slew_ps\"",
+            "\"slew_ok\"",
+            "\"buffers\"",
+            "\"cost\"",
+            "\"elapsed_us\"",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        assert!(!json.contains("\"scenario\""));
+        assert!(!json.contains("\"placements\""));
+
+        let record = NetRecord {
+            scenario: Some("slow"),
+            placements: Some(&[]),
+            ..record
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"scenario\": \"slow\""));
+        assert!(json.contains("\"placements\": []"));
+        assert!(json.contains("\"buffers\": 2"));
+    }
+}

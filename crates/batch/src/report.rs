@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use fastbuf_api::json::{json_f64, json_str, NetRecord};
 use fastbuf_buflib::units::Seconds;
 use fastbuf_core::{Algorithm, Placement, SolveStats};
 
@@ -126,7 +127,10 @@ impl BatchReport {
     /// net. `names` labels the nets (falling back to `net<index>`);
     /// `include_placements` adds the full placement list per net.
     ///
-    /// The encoder is hand-rolled (the workspace builds offline, without
+    /// Per-net entries use the shared [`NetRecord`] schema from
+    /// `fastbuf_api::json` — the same serializer `fastbuf solve --json`
+    /// emits, so the two commands' per-net JSON can never drift apart. The
+    /// encoder is hand-rolled (the workspace builds offline, without
     /// serde); all emitted strings are escaped, all numbers are plain JSON
     /// numbers.
     pub fn to_json(&self, names: Option<&[String]>, include_placements: bool) -> String {
@@ -194,52 +198,24 @@ impl BatchReport {
                     fallback.as_str()
                 }
             };
-            s.push_str("    {");
-            s.push_str(&format!("\"net\": {}, ", json_str(name)));
-            s.push_str(&format!("\"index\": {}, ", o.index));
-            s.push_str(&format!("\"sinks\": {}, ", o.sinks));
-            s.push_str(&format!("\"sites\": {}, ", o.sites));
-            s.push_str(&format!(
-                "\"slack_before_ps\": {}, ",
-                json_f64(o.slack_before.picos())
-            ));
-            s.push_str(&format!(
-                "\"slack_after_ps\": {}, ",
-                json_f64(o.slack.picos())
-            ));
-            s.push_str(&format!(
-                "\"slew_before_ps\": {}, ",
-                json_f64(o.slew_before.picos())
-            ));
-            s.push_str(&format!(
-                "\"max_slew_ps\": {}, ",
-                json_f64(o.max_slew.picos())
-            ));
-            s.push_str(&format!(
-                "\"slew_ok\": {}, ",
-                if o.slew_ok { "true" } else { "false" }
-            ));
-            s.push_str(&format!("\"buffers\": {}, ", o.placements.len()));
-            s.push_str(&format!("\"cost\": {}, ", json_f64(o.cost)));
-            s.push_str(&format!(
-                "\"elapsed_us\": {}",
-                json_f64(o.elapsed.as_secs_f64() * 1e6)
-            ));
-            if include_placements {
-                s.push_str(", \"placements\": [");
-                for (j, p) in o.placements.iter().enumerate() {
-                    if j > 0 {
-                        s.push_str(", ");
-                    }
-                    s.push_str(&format!(
-                        "{{\"node\": {}, \"buffer\": {}}}",
-                        p.node.index(),
-                        p.buffer.index()
-                    ));
-                }
-                s.push(']');
-            }
-            s.push('}');
+            let record = NetRecord {
+                name,
+                index: o.index,
+                scenario: None,
+                sinks: o.sinks,
+                sites: o.sites,
+                slack_before: o.slack_before,
+                slack_after: o.slack,
+                slew_before: o.slew_before,
+                max_slew: o.max_slew,
+                slew_ok: o.slew_ok,
+                buffers: o.placements.len(),
+                cost: o.cost,
+                elapsed: o.elapsed,
+                placements: include_placements.then_some(o.placements.as_slice()),
+            };
+            s.push_str("    ");
+            s.push_str(&record.to_json());
             if k + 1 < self.outcomes.len() {
                 s.push(',');
             }
@@ -274,57 +250,9 @@ impl fmt::Display for BatchReport {
     }
 }
 
-/// Formats an `f64` as a valid JSON number (JSON has no `Infinity`/`NaN`;
-/// those become `null`).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        let s = format!("{v}");
-        // `{}` on f64 always includes a sign/digits; it never produces the
-        // `inf`/`NaN` spellings for finite values, so `s` is valid JSON.
-        s
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// Escapes a string for JSON.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_escaping() {
-        assert_eq!(json_str("plain"), "\"plain\"");
-        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
-        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn json_numbers() {
-        assert_eq!(json_f64(1.5), "1.5");
-        assert_eq!(json_f64(-0.25), "-0.25");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(f64::NAN), "null");
-    }
 
     #[test]
     fn empty_report_aggregates() {

@@ -6,9 +6,10 @@ use std::time::Instant;
 
 use crossbeam::channel;
 
+use fastbuf_api::{Scenario, ScenarioResult, Session};
 use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::BufferLibrary;
-use fastbuf_core::{Algorithm, DelayModel, ElmoreModel, SolveWorkspace, Solver, SolverOptions};
+use fastbuf_core::{Algorithm, DelayModel, ElmoreModel, SolveWorkspace};
 use fastbuf_rctree::{elmore, RoutingTree};
 
 use crate::report::{BatchReport, NetOutcome};
@@ -135,15 +136,25 @@ impl<'a> BatchSolver<'a> {
 
     /// Solves every net and returns the aggregated report, with per-net
     /// outcomes in input order.
+    ///
+    /// Per-net solving is routed through the `fastbuf-api` request layer
+    /// (one [`Session`] for the whole batch, one single-scenario
+    /// `SolveRequest` per net through each worker's reusable workspace) —
+    /// results are bit-identical to the legacy direct-`Solver` path, which
+    /// the equivalence tests assert.
     pub fn solve(&self) -> BatchReport {
         let start = Instant::now();
         let nets = self.nets;
         let library = self.library;
-        let solver_options = SolverOptions {
-            algorithm: self.options.algorithm,
-            track_predecessors: self.options.track_predecessors,
-            delay_model: Arc::clone(&self.options.delay_model),
-            slew_limit: self.options.slew_limit,
+        let session = Session::builder(library.clone())
+            .delay_model(Arc::clone(&self.options.delay_model))
+            .build();
+        let scenario = {
+            let mut s = Scenario::named("batch").algorithm(self.options.algorithm);
+            if let Some(limit) = self.options.slew_limit {
+                s = s.slew_limit(limit);
+            }
+            s
         };
         let workers = self
             .options
@@ -171,13 +182,15 @@ impl<'a> BatchSolver<'a> {
         let mut outcomes: Vec<Option<NetOutcome>> = Vec::with_capacity(nets.len());
         outcomes.resize_with(nets.len(), || None);
 
+        let track = self.options.track_predecessors;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let rx = rx.clone();
-                    let solver_options = solver_options.clone();
+                    let session = session.clone();
+                    let scenario = scenario.clone();
                     scope.spawn(move || {
-                        let model: &dyn DelayModel = &*solver_options.delay_model;
+                        let model: &dyn DelayModel = &**session.delay_model();
                         let mut workspace = SolveWorkspace::new();
                         let mut local: Vec<(usize, NetOutcome)> = Vec::new();
                         while let Ok(i) = rx.recv() {
@@ -185,9 +198,21 @@ impl<'a> BatchSolver<'a> {
                             let t0 = Instant::now();
                             let before = elmore::evaluate_with(tree, library, &[], model)
                                 .expect("the empty placement is always legal");
-                            let solution = Solver::new(tree, library)
-                                .with_options(solver_options.clone())
-                                .solve_with(&mut workspace);
+                            let outcome = session
+                                .request(tree)
+                                .track_predecessors(track)
+                                .scenario(scenario.clone())
+                                .solve_in(&mut workspace)
+                                .expect("a validated max-slack scenario cannot fail");
+                            let solution = outcome
+                                .scenarios
+                                .into_iter()
+                                .next()
+                                .and_then(|so| match so.result {
+                                    ScenarioResult::Solution(s) => Some(s),
+                                    _ => None,
+                                })
+                                .expect("max-slack outcomes carry one solution");
                             // Ground-truth worst slew of the solved net: a
                             // forward evaluation of the reconstructed
                             // placements (falls back to the DP's root-stage

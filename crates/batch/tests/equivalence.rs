@@ -223,3 +223,26 @@ fn scaled_model_batch_is_deterministic_across_workers() {
     assert_eq!(a.delay_model, "scaled-elmore");
     assert_reports_identical(&a, &b);
 }
+
+/// Regression: a pathological (non-positive) slew limit must keep the
+/// legacy best-effort contract through the api-routed path — every net
+/// reports `slew_ok = false`, nothing panics, and the sequential solver
+/// agrees bit for bit.
+#[test]
+fn non_positive_slew_limit_is_best_effort_not_a_panic() {
+    use fastbuf_buflib::units::Seconds;
+    let nets = suite(6, 5);
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+    let limit = Seconds::from_pico(-1.0);
+    let report = BatchSolver::new(&nets, &lib)
+        .workers(2)
+        .slew_limit(limit)
+        .solve();
+    assert_eq!(report.slew_violations, nets.len());
+    for o in &report.outcomes {
+        assert!(!o.slew_ok);
+        let solo = Solver::new(&nets[o.index], &lib).slew_limit(limit).solve();
+        assert_eq!(o.slack, solo.slack);
+        assert_eq!(o.placements, solo.placements);
+    }
+}

@@ -5,6 +5,8 @@ use std::path::{Path, PathBuf};
 
 use std::sync::Arc;
 
+use fastbuf_api::json::NetRecord;
+use fastbuf_api::{parse_scenarios, Scenario, Session};
 use fastbuf_batch::BatchSolver;
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
@@ -24,7 +26,14 @@ const USAGE: &str = "usage:
   fastbuf info      --net FILE
   fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
                     [--slew-limit PS] [--model elmore|scaled-elmore]
+                    [--scenarios FILE] [--json FILE]
                     [--placements] [--stats] [--no-verify]
+                    (--scenarios runs every corner of FILE; lines are
+                     `name [model=M] [slew-limit-ps=N] [derate=F] [algo=A]`.
+                     --model/--algo become the defaults for lines that do
+                     not set their own; --slew-limit conflicts with
+                     --scenarios. --json writes per-corner records in the
+                     same schema as `batch --json`.)
   fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
                     [--slew-limit PS] [--model M] [--json FILE] [--placements]
                     [--per-net] [--check] [--no-verify]
@@ -393,70 +402,226 @@ fn info(argv: &[String]) -> Result<(), String> {
 fn solve(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         argv,
-        &["net", "lib", "algo", "slew-limit", "model"],
+        &[
+            "net",
+            "lib",
+            "algo",
+            "slew-limit",
+            "model",
+            "scenarios",
+            "json",
+        ],
         &["placements", "stats", "no-verify"],
     )?;
+    let net_path = flags.required("net")?.to_owned();
     let tree = load_net(&flags)?;
     let lib = load_lib(&flags)?;
     let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
     let model = load_model(&flags)?;
     let slew_limit = load_slew_limit(&flags)?;
 
-    let unbuffered = elmore::evaluate_with(&tree, &lib, &[], &*model).map_err(|e| e.to_string())?;
-    let mut solver = Solver::new(&tree, &lib)
-        .algorithm(algo)
-        .delay_model(Arc::clone(&model));
-    if let Some(limit) = slew_limit {
-        solver = solver.slew_limit(limit);
-    }
-    let solution = solver.solve();
+    // Everything below goes through the unified request layer: one
+    // session, one request, one scenario per corner.
+    let session = Session::builder(lib)
+        .delay_model(Arc::clone(&model))
+        .build();
+    let lib = session.library();
 
-    println!("algorithm:        {algo}");
-    println!("delay model:      {}", model.name());
-    println!("unbuffered slack: {}", unbuffered.slack);
-    println!(
-        "buffered slack:   {}  (improvement {})",
-        solution.slack,
-        solution.slack - unbuffered.slack
-    );
-    println!(
-        "buffers inserted: {}  (total cost {:.0})",
-        solution.placements.len(),
-        solution.total_cost(&lib)
-    );
-    if let Some(limit) = slew_limit {
-        let measured = elmore::evaluate_with(&tree, &lib, &solution.placement_pairs(), &*model)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "slew:             worst {} against limit {}{}",
-            measured.max_slew,
-            limit,
-            if solution.slew_ok {
-                ""
-            } else {
-                "  [INFEASIBLE: best effort]"
+    let scenarios = match flags.value("scenarios") {
+        None => {
+            let mut scenario = Scenario::default().algorithm(algo);
+            if let Some(limit) = slew_limit {
+                scenario = scenario.slew_limit(limit);
             }
-        );
-        if solution.slew_ok && measured.max_slew.value() > limit.value() * (1.0 + 1e-9) {
-            return Err(format!(
-                "slew check failed: measured {} over the {} limit",
-                measured.max_slew, limit
-            ));
+            vec![scenario]
         }
-    }
+        Some(path) => {
+            if slew_limit.is_some() {
+                return Err(
+                    "--slew-limit conflicts with --scenarios; put `slew-limit-ps=` on the \
+                     scenario lines instead"
+                        .into(),
+                );
+            }
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let mut scenarios = parse_scenarios(&text).map_err(|e| format!("{path}: {e}"))?;
+            // --algo is the default for lines without their own `algo=`.
+            for scenario in &mut scenarios {
+                if scenario.algorithm.is_none() {
+                    scenario.algorithm = Some(algo);
+                }
+            }
+            scenarios
+        }
+    };
+    // Corner files get named, table-style output and `"scenario"` keys in
+    // JSON — even when the file happens to contain a single corner, so
+    // downstream tooling keyed on scenario names never breaks. (This also
+    // keeps the anonymous branch's improvement-vs-unbuffered print sound:
+    // flag-built scenarios always share the session model and derate 1.0.)
+    let named = flags.value("scenarios").is_some();
+
+    let unbuffered = elmore::evaluate_with(&tree, lib, &[], &*model).map_err(|e| e.to_string())?;
+    let outcome = session
+        .request(&tree)
+        .scenarios(scenarios)
+        .solve()
+        .map_err(|e| e.to_string())?;
+
     if !flags.switch("no-verify") {
-        let measured = solution
-            .verify_with(&tree, &lib, &*model)
-            .map_err(|e| e.to_string())?;
-        println!("verified:         forward evaluation measures {measured}");
+        // Each corner is re-measured under its own model and derate.
+        outcome.verify(&tree, lib).map_err(|e| e.to_string())?;
     }
-    if flags.switch("placements") {
-        for p in &solution.placements {
-            println!("  {} {}", p.node, lib.get(p.buffer).name());
+
+    println!("unbuffered slack: {}", unbuffered.slack);
+    let want_json = flags.value("json").is_some();
+    let mut records = String::new();
+    for (k, corner) in outcome.scenarios.iter().enumerate() {
+        let solution = corner
+            .solution()
+            .expect("solve command always asks for max slack");
+        let scenario = &corner.scenario;
+        // This corner's view of the tree: slews are RAT-independent, but
+        // the *slack* baseline must see the same derate the solve saw.
+        let corner_tree = scenario.apply_derate(&tree);
+        let corner_tree = &*corner_tree;
+        // Ground-truth worst slew of the solved net under this corner's
+        // model — same definition as `batch`. Only computed when something
+        // consumes it (a slew limit to check, or a JSON record).
+        let measured_slew = if scenario.slew_limit.is_some() || want_json {
+            Some(
+                elmore::evaluate_with(
+                    corner_tree,
+                    lib,
+                    &solution.placement_pairs(),
+                    &*corner.model,
+                )
+                .map_err(|e| e.to_string())?
+                .max_slew,
+            )
+        } else {
+            None
+        };
+        // The hard cross-check runs for *every* corner with a limit: a
+        // corner reported feasible must measure within its limit.
+        if let (Some(limit), Some(measured)) = (scenario.slew_limit, measured_slew) {
+            if solution.slew_ok && measured.value() > limit.value() * (1.0 + 1e-9) {
+                return Err(format!(
+                    "scenario `{}`: slew check failed: measured {} over the {} limit",
+                    scenario.name, measured, limit
+                ));
+            }
+        }
+        if named {
+            println!(
+                "scenario {:<12} algo {:<16} model {:<13} derate {:<5} slack {}  buffers {}{}",
+                scenario.name,
+                corner.algorithm,
+                corner.model.name(),
+                scenario.rat_derate,
+                solution.slack,
+                solution.placements.len(),
+                if solution.slew_ok {
+                    ""
+                } else {
+                    "  [SLEW INFEASIBLE]"
+                },
+            );
+        } else {
+            println!("algorithm:        {}", corner.algorithm);
+            println!("delay model:      {}", corner.model.name());
+            println!(
+                "buffered slack:   {}  (improvement {})",
+                solution.slack,
+                solution.slack - unbuffered.slack
+            );
+            println!(
+                "buffers inserted: {}  (total cost {:.0})",
+                solution.placements.len(),
+                solution.total_cost(lib)
+            );
+            if let (Some(limit), Some(measured)) = (scenario.slew_limit, measured_slew) {
+                println!(
+                    "slew:             worst {} against limit {}{}",
+                    measured,
+                    limit,
+                    if solution.slew_ok {
+                        ""
+                    } else {
+                        "  [INFEASIBLE: best effort]"
+                    }
+                );
+            }
+            if !flags.switch("no-verify") {
+                println!("verified:         forward evaluation matches each corner");
+            }
+        }
+        if flags.switch("placements") {
+            for p in &solution.placements {
+                println!("  {} {}", p.node, lib.get(p.buffer).name());
+            }
+        }
+        if flags.switch("stats") {
+            println!("stats: {}", solution.stats);
+        }
+        if want_json {
+            // Per-corner record in the exact per-net schema of
+            // `batch --json`. The unbuffered baseline is re-measured under
+            // *this corner's* model and derate, so `slack_after −
+            // slack_before` is the buffering improvement in every corner,
+            // never a model/derate artifact. Flag-built scenarios (no
+            // --scenarios file) always share the session model and derate
+            // 1.0, so the already-computed baseline is reused there.
+            let corner_before = if named {
+                elmore::evaluate_with(corner_tree, lib, &[], &*corner.model)
+                    .map_err(|e| e.to_string())?
+            } else {
+                unbuffered.clone()
+            };
+            let record = NetRecord {
+                name: &net_path,
+                index: 0,
+                scenario: named.then_some(scenario.name.as_str()),
+                sinks: tree.sink_count(),
+                sites: tree.buffer_site_count(),
+                slack_before: corner_before.slack,
+                slack_after: solution.slack,
+                slew_before: corner_before.max_slew,
+                max_slew: measured_slew.expect("computed whenever want_json"),
+                slew_ok: solution.slew_ok,
+                buffers: solution.placements.len(),
+                cost: solution.total_cost(lib),
+                elapsed: corner.elapsed,
+                placements: flags
+                    .switch("placements")
+                    .then_some(solution.placements.as_slice()),
+            };
+            records.push_str("    ");
+            records.push_str(&record.to_json());
+            if k + 1 < outcome.scenarios.len() {
+                records.push(',');
+            }
+            records.push('\n');
         }
     }
-    if flags.switch("stats") {
-        println!("stats: {}", solution.stats);
+    if named {
+        if let Some(worst) = outcome.worst_slack() {
+            println!("worst corner slack: {worst}");
+        }
+    }
+    if let Some(path) = flags.value("json") {
+        let json = format!(
+            "{{\n  \"nets\": 1,\n  \"scenarios\": {},\n  \"results\": [\n{}  ]\n}}\n",
+            outcome.scenarios.len(),
+            records
+        );
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("json report written to {path}");
+        }
     }
     Ok(())
 }
@@ -855,6 +1020,165 @@ mod tests {
         assert!(report.contains("\"slew_limit_ps\": 400"), "{report}");
         assert!(report.contains("\"max_slew_ps\""));
         assert!(report.contains("\"slew_ok\""));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: `solve --json` emits the same per-net JSON schema as
+    /// `batch --json` (shared `fastbuf_api::json::NetRecord` serializer),
+    /// and `solve --scenarios FILE` runs multi-corner requests end to end.
+    #[test]
+    fn solve_json_and_scenarios_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-scen-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("t.net");
+        let lib = dir.join("t.lib");
+        let corners = dir.join("corners.txt");
+        let solve_json = dir.join("solve.json");
+        let batch_json = dir.join("batch.json");
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+        run_strs(&[
+            "gen",
+            "net",
+            "--kind",
+            "line",
+            "--length",
+            "9000",
+            "--sites",
+            "8",
+            "-o",
+            net.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+        // Single solve --json first: its record keys must be exactly the
+        // batch per-net keys (shared serializer).
+        run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--json",
+            solve_json.to_str().unwrap(),
+            "--placements",
+        ])
+        .unwrap();
+        let single = fs::read_to_string(&solve_json).unwrap();
+        let manifest = dir.join("one.txt");
+        fs::write(&manifest, "t.net\n").unwrap();
+        run_strs(&[
+            "batch",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--json",
+            batch_json.to_str().unwrap(),
+            "--placements",
+        ])
+        .unwrap();
+        let batch = fs::read_to_string(&batch_json).unwrap();
+        for key in [
+            "\"net\"",
+            "\"index\"",
+            "\"sinks\"",
+            "\"sites\"",
+            "\"slack_before_ps\"",
+            "\"slack_after_ps\"",
+            "\"slew_before_ps\"",
+            "\"max_slew_ps\"",
+            "\"slew_ok\"",
+            "\"buffers\"",
+            "\"cost\"",
+            "\"elapsed_us\"",
+            "\"placements\"",
+        ] {
+            assert!(batch.contains(key), "batch lost {key}: {batch}");
+            assert!(single.contains(key), "solve missing {key}: {single}");
+        }
+
+        // Multi-corner run through a scenario file.
+        fs::write(
+            &corners,
+            "# three corners\n\
+             typical\n\
+             slow derate=0.9 slew-limit-ps=350\n\
+             fast model=scaled-elmore algo=lillis\n",
+        )
+        .unwrap();
+        run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--scenarios",
+            corners.to_str().unwrap(),
+            "--json",
+            solve_json.to_str().unwrap(),
+        ])
+        .unwrap();
+        let multi = fs::read_to_string(&solve_json).unwrap();
+        assert!(multi.contains("\"scenarios\": 3"), "{multi}");
+        for name in ["typical", "slow", "fast"] {
+            assert!(
+                multi.contains(&format!("\"scenario\": \"{name}\"")),
+                "{multi}"
+            );
+        }
+        assert!(multi.contains("\"slack_after_ps\""));
+
+        // A corner file with a single line keeps the named, scenario-keyed
+        // output — downstream tooling keyed on scenario names must not
+        // break when a file shrinks to one corner.
+        fs::write(&corners, "signoff slew-limit-ps=350\n").unwrap();
+        run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--scenarios",
+            corners.to_str().unwrap(),
+            "--json",
+            solve_json.to_str().unwrap(),
+        ])
+        .unwrap();
+        let single_corner = fs::read_to_string(&solve_json).unwrap();
+        assert!(
+            single_corner.contains("\"scenario\": \"signoff\""),
+            "{single_corner}"
+        );
+
+        // Flag conflicts and file errors are reported, not panicked.
+        let err = run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--scenarios",
+            corners.to_str().unwrap(),
+            "--slew-limit",
+            "200",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        fs::write(&corners, "bad line=").unwrap();
+        let err = run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--scenarios",
+            corners.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -72,7 +72,12 @@ impl SolveWorkspace {
 }
 
 /// Configuration of a [`Solver`].
+///
+/// `#[non_exhaustive]`: construct via [`SolverOptions::default`] and set
+/// fields (or use the [`Solver`] builder methods) so new knobs can be
+/// added without breaking downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct SolverOptions {
     /// Which `AddBuffer` implementation to run. Default:
     /// [`Algorithm::LiShi`].

@@ -97,6 +97,16 @@ impl Solution {
     /// measured slack equals the slack this solution predicts (to a relative
     /// tolerance of 1e-9). Returns the measured slack.
     ///
+    /// **Warning — this legacy shim always measures with
+    /// [`ElmoreModel`](crate::ElmoreModel), whatever model the solve
+    /// actually used.** A solution produced under any other
+    /// [`delay_model`](crate::SolverOptions::delay_model) will report a
+    /// spurious [`VerifyError::SlackMismatch`] here; use
+    /// [`Solution::verify_with`] with the solve's model, or the
+    /// `fastbuf-api` request layer, whose `Outcome::verify` remembers the
+    /// model each scenario solved with and cross-checks with the right
+    /// arithmetic automatically.
+    ///
     /// # Errors
     ///
     /// [`VerifyError::NotTracked`] if the solver ran with predecessor

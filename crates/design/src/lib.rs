@@ -42,9 +42,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
+use fastbuf_api::{Scenario, Session};
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
-use fastbuf_core::{Algorithm, DelayModel, ElmoreModel, Solver};
+use fastbuf_core::{Algorithm, DelayModel, ElmoreModel};
 use fastbuf_netgen::SuiteSpec;
 use fastbuf_rctree::{elmore, RoutingTree};
 
@@ -215,12 +216,26 @@ pub struct DesignReport {
 /// Buffers every net of `design` with `library`, in parallel, and
 /// aggregates the report. Results are deterministic and independent of the
 /// thread count.
+///
+/// Per-net solving is routed through the `fastbuf-api` request layer: one
+/// [`Session`] for the design, one single-scenario request per net, warm
+/// workspaces shared through the session pool.
 pub fn solve_design(
     design: &Design,
     library: &BufferLibrary,
     options: &DesignSolveOptions,
 ) -> DesignReport {
     let start = Instant::now();
+    let session = Session::builder(library.clone())
+        .delay_model(Arc::clone(&options.delay_model))
+        .build();
+    let scenario = {
+        let mut s = Scenario::named("design").algorithm(options.algorithm);
+        if let Some(limit) = options.slew_limit {
+            s = s.slew_limit(limit);
+        }
+        s
+    };
     let threads = options
         .threads
         .map(NonZeroUsize::get)
@@ -247,20 +262,25 @@ pub fn solve_design(
         for _ in 0..threads {
             let rx = rx.clone();
             let results = &results;
+            let session = &session;
+            let scenario = &scenario;
             scope.spawn(move || {
+                // One workspace per worker, reused across nets via
+                // `solve_in` — same pattern as `fastbuf-batch`, no
+                // per-net pool traffic.
+                let mut workspace = fastbuf_core::SolveWorkspace::new();
                 while let Ok(i) = rx.recv() {
                     let net = &slot_refs[i];
                     let t0 = Instant::now();
                     let before =
                         elmore::evaluate_with(&net.tree, library, &[], &*options.delay_model)
                             .expect("empty assignment is always legal");
-                    let mut solver = Solver::new(&net.tree, library)
-                        .algorithm(options.algorithm)
-                        .delay_model(Arc::clone(&options.delay_model));
-                    if let Some(limit) = options.slew_limit {
-                        solver = solver.slew_limit(limit);
-                    }
-                    let sol = solver.solve();
+                    let outcome = session
+                        .request(&net.tree)
+                        .scenario(scenario.clone())
+                        .solve_in(&mut workspace)
+                        .expect("a validated max-slack scenario cannot fail");
+                    let sol = outcome.solution().expect("single-scenario max-slack");
                     let result = NetResult {
                         name: net.name.clone(),
                         slack_before: before.slack,

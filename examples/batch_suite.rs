@@ -37,12 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Batch results are identical to sequential solves — spot-check a few.
+    // Batch results are identical to per-net requests through the same
+    // api layer the batch itself uses — spot-check a few.
+    let session = Session::new(lib);
     for i in [0usize, 7, 23] {
-        let solo = Solver::new(&nets[i], &lib).solve();
+        let solo = session.request(&nets[i]).solve()?;
+        let solo = solo.solution().unwrap();
         assert_eq!(report.outcomes[i].slack, solo.slack);
         assert_eq!(report.outcomes[i].placements, solo.placements);
     }
-    println!("\nspot-checked 3 nets against sequential solves: identical");
+    println!("\nspot-checked 3 nets against per-net requests: identical");
     Ok(())
 }

@@ -34,16 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unbuffered = elmore::evaluate(&tree, &unconstrained, &[])?;
     println!("unbuffered slack: {}\n", unbuffered.slack);
 
-    let free = Solver::new(&tree, &unconstrained).solve();
-    free.verify(&tree, &unconstrained)?;
+    // One session per library: the session is the shared context, and a
+    // request per question.
+    let free_session = Session::new(unconstrained);
+    let free_outcome = free_session.request(&tree).solve()?;
+    free_outcome.verify(&tree, free_session.library())?;
+    let free = free_outcome.solution().unwrap();
     println!(
         "no load limits:   slack {}, {} buffers",
         free.slack,
         free.placements.len()
     );
 
-    let limited = Solver::new(&tree, &constrained).solve();
-    limited.verify(&tree, &constrained)?;
+    let limited_session = Session::new(constrained);
+    let limited_outcome = limited_session.request(&tree).solve()?;
+    limited_outcome.verify(&tree, limited_session.library())?;
+    let limited = limited_outcome.solution().unwrap();
+    let constrained = limited_session.library();
     println!(
         "with load limits: slack {}, {} buffers",
         limited.slack,
@@ -73,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Every receiver must still meet timing.
-    let report = elmore::evaluate(&tree, &constrained, &limited.placement_pairs())?;
+    let report = elmore::evaluate(&tree, constrained, &limited.placement_pairs())?;
     let failing = report
         .sink_slacks
         .iter()

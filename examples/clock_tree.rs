@@ -34,9 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut best_with_64 = None;
     for b in [8usize, 16, 32, 64] {
-        let lib = BufferLibrary::paper_synthetic_jittered(b, 7)?;
-        let sol = Solver::new(&tree, &lib).solve();
-        sol.verify(&tree, &lib)?;
+        // One session per library size; requests return typed Results.
+        let session = Session::new(BufferLibrary::paper_synthetic_jittered(b, 7)?);
+        let outcome = session.request(&tree).solve()?;
+        outcome.verify(&tree, session.library())?;
+        let sol = outcome.solution().unwrap().clone();
         println!(
             "{:<14} {:>14} {:>9} {:>12?}",
             format!("b = {b}"),
@@ -45,15 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sol.stats.elapsed
         );
         if b == 64 {
-            best_with_64 = Some((lib, sol));
+            best_with_64 = Some((session, sol));
         }
     }
 
     // The pre-2005 recipe: cluster the 64-type library down to 8 and solve
     // the smaller problem. Compare against using the full library directly.
-    let (full_lib, full_sol) = best_with_64.expect("loop ran");
-    let reduced = cluster_library(&full_lib, 8)?;
-    let clustered_sol = Solver::new(&tree, &reduced.library).solve();
+    let (full_session, full_sol) = best_with_64.expect("loop ran");
+    let full_lib = full_session.library();
+    let reduced = cluster_library(full_lib, 8)?;
+    let clustered = Session::new(reduced.library.clone());
+    let clustered_sol = clustered.request(&tree).solve()?;
+    let clustered_sol = clustered_sol.solution().unwrap().clone();
     println!(
         "\nclustered 64→8: slack {} vs full-library {} (loss {:.2} ps)",
         clustered_sol.slack,
@@ -66,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Clock trees care about skew too: report the slack spread across leaves.
-    let report = elmore::evaluate(&tree, &full_lib, &full_sol.placement_pairs())?;
+    let report = elmore::evaluate(&tree, full_lib, &full_sol.placement_pairs())?;
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &(_, s) in &report.sink_slacks {
         lo = lo.min(s.picos());

@@ -24,7 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A 200-unit budget is just above this net's unconstrained optimum
     // (cost 191), so the frontier's top point must match the free solver.
-    let frontier = CostSolver::new(&tree, &lib).max_cost(200).solve()?;
+    // The frontier is one `Objective::SlackCost` request away.
+    let session = Session::new(lib);
+    let outcome = session
+        .request(&tree)
+        .objective(Objective::SlackCost { max_cost: 200 })
+        .solve()?;
+    let frontier = outcome.scenarios[0]
+        .frontier()
+        .expect("slack-cost objective");
     let base = frontier.points.first().expect("frontier never empty");
     let best = frontier.points.last().expect("frontier never empty");
     let span = (best.slack - base.slack).picos().max(1e-9);
@@ -58,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Sanity: the frontier's maximum equals the unconstrained optimum.
-    let unconstrained = Solver::new(&tree, &lib).solve();
+    let unconstrained = session.request(&tree).solve()?;
+    let unconstrained = unconstrained.solution().unwrap().clone();
     assert!(
         (unconstrained.slack - best.slack).abs() < Seconds::from_pico(1e-3),
         "frontier must reach the unconstrained optimum"
@@ -66,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "unconstrained solver agrees: slack {} at cost {:.0}",
         unconstrained.slack,
-        unconstrained.total_cost(&lib)
+        unconstrained.total_cost(session.library())
     );
     Ok(())
 }

@@ -10,7 +10,6 @@
 //!
 //! Run: `cargo run --release --example inverter_polarity`
 
-use fastbuf::polarity::{Polarity, PolaritySolver};
 use fastbuf::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,8 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     )?;
 
+    // One session per library; the polarity flows are one objective away.
+    let plain_session = Session::new(buffers_only);
+    let mixed_session = Session::new(mixed);
+
     // 1. Buffers only.
-    let plain = Solver::new(&tree, &buffers_only).solve();
+    let plain = plain_session.request(&tree).solve()?;
+    let plain = plain.solution().unwrap().clone();
     println!(
         "buffers only:            slack {}  ({} repeaters)",
         plain.slack,
@@ -66,8 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Mixed library, all sinks positive: inverter parity must be even
     //    on every source->sink path.
-    let pos = PolaritySolver::new(&tree, &mixed).solve()?;
-    pos.verify(&tree, &mixed)?;
+    let pos_outcome = mixed_session
+        .request(&tree)
+        .objective(Objective::PolarityAware {
+            negated_sinks: Vec::new(),
+        })
+        .solve()?;
+    pos_outcome.verify(&tree, mixed_session.library())?;
+    let pos = pos_outcome.scenarios[0].polarity().unwrap();
     println!(
         "with inverters (even):   slack {}  ({} repeaters, {} inverters)",
         pos.slack,
@@ -80,10 +90,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Negate k2: the branch to it now *wants* an odd inverter count.
-    let mut solver = PolaritySolver::new(&tree, &mixed);
-    solver.require(k2, Polarity::Negative)?;
-    let neg = solver.solve()?;
-    neg.verify_with(&tree, &mixed, &[k2])?;
+    let neg_outcome = mixed_session
+        .request(&tree)
+        .objective(Objective::PolarityAware {
+            negated_sinks: vec![k2],
+        })
+        .solve()?;
+    neg_outcome.verify(&tree, mixed_session.library())?;
+    let neg = neg_outcome.scenarios[0].polarity().unwrap();
     println!(
         "with k2 negated:         slack {}  ({} repeaters, {} inverters)",
         neg.slack,
@@ -91,10 +105,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         neg.inverter_count
     );
 
-    // Without any inverter in the library, negating k2 is infeasible.
-    let mut impossible = PolaritySolver::new(&tree, &buffers_only);
-    impossible.require(k2, Polarity::Negative)?;
-    match impossible.solve() {
+    // Without any inverter in the library, negating k2 is infeasible —
+    // reported as a typed SolveError, never a panic.
+    match plain_session
+        .request(&tree)
+        .objective(Objective::PolarityAware {
+            negated_sinks: vec![k2],
+        })
+        .solve()
+    {
         Err(e) => println!("negated sink without inverters: {e}"),
         Ok(_) => unreachable!("buffers cannot invert"),
     }

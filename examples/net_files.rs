@@ -37,16 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(parsed.node_count(), original.node_count());
     assert_eq!(parsed.sink_count(), original.sink_count());
 
-    // Both copies solve to the identical optimum.
-    let lib = BufferLibrary::paper_synthetic(16)?;
-    let a = Solver::new(&original, &lib).solve();
-    let b = Solver::new(&parsed, &lib).solve();
+    // Both copies solve to the identical optimum (one session, two
+    // requests; the second reuses the first's warm workspace).
+    let session = Session::new(BufferLibrary::paper_synthetic(16)?);
+    let a = session.request(&original).solve()?;
+    let b = session.request(&parsed).solve()?;
+    let (a, b) = (a.solution().unwrap().clone(), b.solution().unwrap().clone());
     assert_eq!(a.slack, b.slack);
     println!("slack from original net: {}", a.slack);
     println!("slack from parsed net:   {}", b.slack);
 
     // A report a timing engineer would want: worst sinks after buffering.
-    let report = fastbuf::rctree::elmore::evaluate(&parsed, &lib, &b.placement_pairs())?;
+    let lib = session.library();
+    let report = fastbuf::rctree::elmore::evaluate(&parsed, lib, &b.placement_pairs())?;
     let mut slacks = report.sink_slacks.clone();
     slacks.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
     println!(

@@ -1,9 +1,10 @@
-//! Quickstart: buffer a long two-pin wire and inspect the result.
+//! Quickstart: buffer a long two-pin wire through the unified request API.
 //!
 //! Builds the textbook van Ginneken scenario — a source driving a single
 //! sink over a 12 mm wire with equally spaced candidate buffer positions —
-//! solves it with the O(bn²) algorithm, and cross-checks the DP's predicted
-//! slack against an independent forward Elmore evaluation.
+//! solves it through a `Session`/`SolveRequest`, cross-checks the DP's
+//! predicted slack against an independent forward Elmore evaluation, and
+//! finishes with a three-corner multi-scenario request.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -35,26 +36,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unbuffered = elmore::evaluate(&tree, &lib, &[])?;
     println!("\nunbuffered slack: {}", unbuffered.slack);
 
-    // 4. Optimal buffering with the O(bn²) algorithm.
-    let solution = Solver::new(&tree, &lib).solve();
+    // 4. Optimal buffering through the front door: a Session holds the
+    //    shared context, a request returns a typed Result.
+    let session = Session::new(lib);
+    let outcome = session.request(&tree).solve()?;
+    let solution = outcome.solution().expect("single-scenario max slack");
     println!(
         "buffered slack:   {}   ({} buffers)",
         solution.slack,
         solution.placements.len()
     );
     for p in &solution.placements {
-        println!("  insert {:>6} at {}", lib.get(p.buffer).name(), p.node);
+        println!(
+            "  insert {:>6} at {}",
+            session.library().get(p.buffer).name(),
+            p.node
+        );
     }
 
     // 5. Verify: re-evaluating the placements with the independent Elmore
-    //    engine must reproduce the DP's prediction exactly.
-    let measured = solution.verify(&tree, &lib)?;
-    println!("\nverified: forward evaluation measures {measured}");
+    //    engine must reproduce the DP's prediction exactly. The outcome
+    //    remembers which delay model each scenario solved with.
+    outcome.verify(&tree, session.library())?;
+    println!("\nverified: forward evaluation matches the prediction");
 
     // 6. The O(b²n²) baseline agrees on the optimum.
-    let baseline = Solver::new(&tree, &lib)
-        .algorithm(Algorithm::Lillis)
-        .solve();
+    let baseline = session
+        .request(&tree)
+        .scenario(Scenario::named("baseline").algorithm(Algorithm::Lillis))
+        .solve()?;
+    let baseline = baseline.scenarios[0]
+        .solution()
+        .expect("max-slack scenario")
+        .clone();
     println!(
         "baseline (Lillis) slack: {} — {}",
         baseline.slack,
@@ -63,6 +77,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "MISMATCH (bug!)"
         }
+    );
+
+    // 7. The production question — three timing corners in one request
+    //    (solved concurrently over the session's workspace pool).
+    let corners = session
+        .request(&tree)
+        .scenario(Scenario::named("typical"))
+        .scenario(Scenario::named("slow").rat_derate(0.9))
+        .scenario(Scenario::named("signoff").slew_limit(Seconds::from_pico(300.0)))
+        .solve()?;
+    println!("\nmulti-corner:");
+    for corner in &corners.scenarios {
+        let s = corner.solution().expect("max-slack scenario");
+        println!(
+            "  {:<8} slack {}   {} buffers{}",
+            corner.scenario.name,
+            s.slack,
+            s.placements.len(),
+            if s.slew_ok { "" } else { "  [slew infeasible]" }
+        );
+    }
+    corners.verify(&tree, session.library())?;
+    println!(
+        "worst corner slack: {}",
+        corners.worst_slack().expect("three corners")
     );
     Ok(())
 }

@@ -20,8 +20,9 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`api`] | `fastbuf-api` | **the front door**: `Session`, `SolveRequest`, multi-scenario `Outcome` |
 //! | [`buflib`] | `fastbuf-buflib` | units, buffers, libraries, technology, clustering |
-//! | [`rctree`] | `fastbuf-rctree` | routing trees, Elmore evaluation, segmenting, net files |
+//! | [`rctree`] | `fastbuf-rctree` | routing trees, delay models, Elmore evaluation, segmenting, net files |
 //! | (root) | `fastbuf-core` | the solvers themselves |
 //! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets and suites at the paper's scales |
 //! | [`batch`] | `fastbuf-batch` | parallel batch solving of net fleets over a worker pool |
@@ -32,13 +33,28 @@
 //! use fastbuf::prelude::*;
 //!
 //! // A 12 mm two-pin net with 11 candidate buffer positions.
-//! let tech = Technology::tsmc180_like();
 //! let lib = BufferLibrary::paper_synthetic(16)?;
 //! let tree = fastbuf::netgen::line_net(Microns::new(12_000.0), 11);
 //!
+//! // The unified request API: a cheap-to-clone Session plus typed,
+//! // Result-returning requests (multi-scenario capable — see
+//! // `fastbuf::api`).
+//! let session = Session::new(lib);
+//! let outcome = session.request(&tree).solve()?;
+//! assert!(!outcome.solution().unwrap().placements.is_empty());
+//! outcome.verify(&tree, session.library())?; // model-aware cross-check
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The legacy single-net path is still available and bit-identical to a
+//! one-scenario request:
+//!
+//! ```
+//! use fastbuf::prelude::*;
+//! # let lib = BufferLibrary::paper_synthetic(16)?;
+//! # let tree = fastbuf::netgen::line_net(Microns::new(12_000.0), 11);
 //! let solution = Solver::new(&tree, &lib).solve();
-//! assert!(!solution.placements.is_empty());
-//! solution.verify(&tree, &lib)?; // independent Elmore cross-check
+//! solution.verify(&tree, &lib)?; // Elmore-only shim; see api::Outcome::verify
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -48,6 +64,7 @@
 
 #![deny(missing_docs)]
 
+pub use fastbuf_api as api;
 pub use fastbuf_batch as batch;
 pub use fastbuf_buflib as buflib;
 pub use fastbuf_design as design;
@@ -62,9 +79,13 @@ pub use fastbuf_core::{
     ScaledElmoreModel, Solution, SolveStats, SolveWorkspace, Solver, SolverOptions, VerifyError,
 };
 
-/// One-stop imports for applications: solver, library, tree-building and
-/// unit types.
+/// One-stop imports for applications: the request API, solver, library,
+/// tree-building and unit types.
 pub mod prelude {
+    pub use fastbuf_api::{
+        Objective, Outcome, Scenario, ScenarioOutcome, ScenarioResult, Session, SolveError,
+        SolveRequest,
+    };
     pub use fastbuf_batch::{BatchOptions, BatchReport, BatchSolver};
     pub use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
     pub use fastbuf_buflib::{
