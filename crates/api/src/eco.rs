@@ -1,0 +1,387 @@
+//! Session-level incremental (ECO) solving: one cache per scenario,
+//! shared across edits.
+//!
+//! A multi-corner flow re-asks the same scenarios after every engineering
+//! change. Solving each corner from scratch repeats almost all of the
+//! work; [`EcoSolver`] instead keeps one
+//! [`IncrementalSolver`](fastbuf_incremental::IncrementalSolver) — and
+//! therefore one persistent subtree cache — **per scenario**, so
+//! interleaved corner solves never thrash a shared cache and each re-solve
+//! recomputes only the edited root paths. Results are bit-identical to
+//! issuing a fresh [`SolveRequest`](crate::SolveRequest) on the edited
+//! tree (asserted in `tests/incremental_equivalence.rs`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fastbuf_buflib::units::Seconds;
+use fastbuf_core::SolverOptions;
+use fastbuf_incremental::{Edit, IncrementalSolver};
+use fastbuf_rctree::RoutingTree;
+
+use crate::error::SolveError;
+use crate::outcome::{Outcome, ScenarioOutcome, ScenarioResult};
+use crate::request::Objective;
+use crate::scenario::{validate_scenario_list, Scenario};
+use crate::session::Session;
+
+/// A long-lived incremental solving handle for one net across one or more
+/// scenarios. Created by [`Session::eco`]; see the module docs.
+///
+/// ```
+/// use fastbuf_api::{Scenario, Session};
+/// use fastbuf_buflib::units::Seconds;
+/// use fastbuf_buflib::BufferLibrary;
+/// use fastbuf_incremental::Edit;
+///
+/// let session = Session::new(BufferLibrary::paper_synthetic(8)?);
+/// let tree = fastbuf_netgen::RandomNetSpec { sinks: 16, seed: 3, ..Default::default() }.build();
+/// let mut eco = session.eco(
+///     &tree,
+///     vec![
+///         Scenario::named("typical"),
+///         Scenario::named("slow").rat_derate(0.9),
+///     ],
+/// )?;
+/// let before = eco.solve()?;
+///
+/// // A sink's deadline tightened; both corners re-solve incrementally.
+/// let sink = tree.sinks().next().unwrap();
+/// eco.apply(&Edit::SetSinkRat { node: sink, rat: Seconds::from_pico(700.0) })?;
+/// let after = eco.solve()?;
+/// assert_eq!(after.scenarios.len(), 2);
+/// // Verification re-measures each corner against the *edited* tree:
+/// after.verify(eco.tree(), session.library())?;
+/// # let _ = before;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EcoSolver {
+    /// The underated edited tree, kept in lockstep with the corners so
+    /// [`Outcome::verify`] (which re-applies scenario derates) sees the
+    /// same net every corner solved.
+    base: IncrementalSolver,
+    corners: Vec<EcoCorner>,
+}
+
+#[derive(Debug)]
+struct EcoCorner {
+    scenario: Scenario,
+    solver: IncrementalSolver,
+}
+
+impl Session {
+    /// Starts an incremental (ECO) session over `tree` for `scenarios`
+    /// (max-slack objective; every scenario gets its own persistent
+    /// subtree cache). The tree is copied — later edits go through
+    /// [`EcoSolver::apply`], and [`EcoSolver::tree`] exposes the edited
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoScenarios`], [`SolveError::DuplicateScenario`], or
+    /// a scenario validation error.
+    pub fn eco(
+        &self,
+        tree: &RoutingTree,
+        scenarios: Vec<Scenario>,
+    ) -> Result<EcoSolver, SolveError> {
+        if scenarios.is_empty() {
+            return Err(SolveError::NoScenarios);
+        }
+        validate_scenario_list(&scenarios)?;
+        let corners = scenarios
+            .into_iter()
+            .map(|scenario| {
+                let mut options = SolverOptions::default();
+                options.algorithm = scenario.algorithm.unwrap_or_default();
+                options.delay_model = scenario
+                    .delay_model
+                    .clone()
+                    .unwrap_or_else(|| Arc::clone(self.delay_model()));
+                options.slew_limit = scenario.slew_limit;
+                let corner_tree = scenario.apply_derate(tree).into_owned();
+                let solver = IncrementalSolver::new(corner_tree, self.library().clone())
+                    .with_technology(*self.technology())
+                    .with_options(options);
+                EcoCorner { scenario, solver }
+            })
+            .collect();
+        let base = IncrementalSolver::new(tree.clone(), self.library().clone())
+            .with_technology(*self.technology());
+        Ok(EcoSolver { base, corners })
+    }
+}
+
+impl EcoSolver {
+    /// The current (edited, underated) tree — what [`Outcome::verify`]
+    /// should be handed.
+    pub fn tree(&self) -> &RoutingTree {
+        self.base.tree()
+    }
+
+    /// Applies one edit to the base tree and to every corner. RAT edits
+    /// are derated per corner (the corner solves a derated copy, so its
+    /// edit must be derated the same way — keeping each corner
+    /// bit-identical to a fresh request on the edited tree).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Unsupported`] for [`Edit::SwapLibrary`] (the library
+    /// is shared session state; sessions are immutable — build a new
+    /// session, or use `IncrementalSolver::swap_library` directly), and
+    /// [`SolveError::Edit`] when the tree rejects the mutation, or when a
+    /// RAT edit derates to a non-finite value in *any* corner (a derate
+    /// above 1 can overflow an extreme but finite RAT). Both are checked
+    /// *before* the base or any corner is touched, so a rejected edit
+    /// leaves everything consistent.
+    pub fn apply(&mut self, edit: &Edit) -> Result<(), SolveError> {
+        if matches!(edit, Edit::SwapLibrary { .. }) {
+            return Err(SolveError::Unsupported {
+                scenario: "eco".into(),
+                reason: "the session library is immutable shared state; \
+                         swap libraries by building a new session (or use \
+                         IncrementalSolver::swap_library directly)"
+                    .into(),
+            });
+        }
+        // Pre-check the one way a corner could reject an edit the base
+        // accepts: a finite RAT whose derated product overflows. Everything
+        // else is topology/kind-determined and identical across corners.
+        if let Edit::SetSinkRat { node, rat } = edit {
+            for corner in &self.corners {
+                if !(rat.value() * corner.scenario.rat_derate).is_finite() {
+                    return Err(SolveError::Edit(fastbuf_incremental::EcoError::Tree(
+                        fastbuf_rctree::TreeError::InvalidSink { node: *node },
+                    )));
+                }
+            }
+        }
+        // Validate against the base next: the corners share its topology,
+        // so an edit the base accepts cannot fail on a corner (the derate
+        // overflow case was just excluded above).
+        self.base.apply(edit).map_err(SolveError::Edit)?;
+        for corner in &mut self.corners {
+            let derated;
+            let corner_edit = match edit {
+                Edit::SetSinkRat { node, rat } if corner.scenario.rat_derate != 1.0 => {
+                    derated = Edit::SetSinkRat {
+                        node: *node,
+                        rat: Seconds::new(rat.value() * corner.scenario.rat_derate),
+                    };
+                    &derated
+                }
+                other => other,
+            };
+            corner
+                .solver
+                .apply(corner_edit)
+                .expect("base tree accepted a topology-identical edit");
+        }
+        Ok(())
+    }
+
+    /// Applies a whole script in order.
+    ///
+    /// # Errors
+    ///
+    /// The first edit's error, with all earlier edits applied everywhere.
+    pub fn apply_all(&mut self, edits: &[Edit]) -> Result<(), SolveError> {
+        for edit in edits {
+            self.apply(edit)?;
+        }
+        Ok(())
+    }
+
+    /// Re-solves every corner incrementally and returns the same
+    /// [`Outcome`] shape as [`SolveRequest::solve`](crate::SolveRequest) —
+    /// per-scenario solutions, each recording the model it solved with.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (the max-slack DP is total); the
+    /// `Result` matches the request API so new failure modes can surface
+    /// without a breaking change.
+    pub fn solve(&mut self) -> Result<Outcome, SolveError> {
+        let start = Instant::now();
+        let scenarios = self
+            .corners
+            .iter_mut()
+            .map(|corner| {
+                let t0 = Instant::now();
+                let solution = corner.solver.solve();
+                ScenarioOutcome {
+                    scenario: corner.scenario.clone(),
+                    model: Arc::clone(&corner.solver.options().delay_model),
+                    algorithm: corner.solver.options().algorithm,
+                    result: ScenarioResult::Solution(solution),
+                    elapsed: t0.elapsed(),
+                }
+            })
+            .collect();
+        Ok(Outcome {
+            objective: Objective::MaxSlack,
+            scenarios,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Per-corner cache diagnostics: `(scenario name, nodes currently
+    /// cached, edits applied)` — cached nodes are populated after the
+    /// first [`EcoSolver::solve`]. Per-solve recompute/reuse splits live
+    /// on each solution's [`stats`](fastbuf_core::SolveStats).
+    pub fn cache_report(&self) -> Vec<(&str, usize, u64)> {
+        self.corners
+            .iter()
+            .map(|c| {
+                (
+                    c.scenario.name.as_str(),
+                    c.solver.cache().cached_nodes(),
+                    c.solver.edits_applied(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::units::{Farads, Microns};
+    use fastbuf_buflib::BufferLibrary;
+    use fastbuf_core::Algorithm;
+    use fastbuf_netgen::eco::EditScriptSpec;
+    use fastbuf_netgen::RandomNetSpec;
+    use fastbuf_rctree::ScaledElmoreModel;
+
+    fn scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::named("typical"),
+            Scenario::named("slow").rat_derate(0.9),
+            Scenario::named("signoff").slew_limit(Seconds::from_pico(300.0)),
+            Scenario::named("optimistic")
+                .delay_model(Arc::new(ScaledElmoreModel::default()))
+                .algorithm(Algorithm::Lillis),
+        ]
+    }
+
+    #[test]
+    fn eco_outcome_matches_fresh_requests_after_every_edit() {
+        let session = Session::new(BufferLibrary::paper_synthetic(8).unwrap());
+        let tree = RandomNetSpec {
+            sinks: 14,
+            seed: 21,
+            ..RandomNetSpec::default()
+        }
+        .build();
+        let mut eco = session.eco(&tree, scenarios()).unwrap();
+        let script = EditScriptSpec {
+            edits: 12,
+            locality: 0.5,
+            seed: 8,
+            swap_library_every: 0,
+        }
+        .generate(&tree);
+
+        for edit in std::iter::once(None).chain(script.iter().map(Some)) {
+            if let Some(edit) = edit {
+                eco.apply(edit).unwrap();
+            }
+            let incremental = eco.solve().unwrap();
+            let fresh = session
+                .request(eco.tree())
+                .scenarios(scenarios())
+                .workers(1)
+                .solve()
+                .unwrap();
+            assert_eq!(incremental.scenarios.len(), fresh.scenarios.len());
+            for (a, b) in incremental.scenarios.iter().zip(&fresh.scenarios) {
+                assert_eq!(a.scenario.name, b.scenario.name);
+                assert_eq!(a.model.name(), b.model.name());
+                let (sa, sb) = (a.solution().unwrap(), b.solution().unwrap());
+                assert_eq!(
+                    sa.slack.value().to_bits(),
+                    sb.slack.value().to_bits(),
+                    "{}",
+                    a.scenario.name
+                );
+                assert_eq!(sa.placements, sb.placements, "{}", a.scenario.name);
+                assert_eq!(sa.slew_ok, sb.slew_ok, "{}", a.scenario.name);
+            }
+            // Model-aware verification against the edited tree passes.
+            incremental.verify(eco.tree(), session.library()).unwrap();
+        }
+        let report = eco.cache_report();
+        assert_eq!(report.len(), 4);
+        assert!(report.iter().all(|&(_, cached, _)| cached > 0));
+    }
+
+    #[test]
+    fn eco_validates_scenarios_and_rejects_library_swaps() {
+        let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(4_000.0), 3);
+        assert!(matches!(
+            session.eco(&tree, Vec::new()),
+            Err(SolveError::NoScenarios)
+        ));
+        assert!(matches!(
+            session.eco(&tree, vec![Scenario::named("x"), Scenario::named("x")]),
+            Err(SolveError::DuplicateScenario(_))
+        ));
+        assert!(matches!(
+            session.eco(&tree, vec![Scenario::named("x").rat_derate(-1.0)]),
+            Err(SolveError::InvalidDerate { .. })
+        ));
+
+        let mut eco = session.eco(&tree, vec![Scenario::default()]).unwrap();
+        let err = eco
+            .apply(&Edit::SwapLibrary { size: 4, jitter: 0 })
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Unsupported { .. }), "{err}");
+
+        // A rejected edit is typed and leaves every corner consistent.
+        let err = eco
+            .apply(&Edit::SetSinkCap {
+                node: tree.root(),
+                cap: Farads::from_femto(1.0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Edit(_)), "{err}");
+        let outcome = eco.solve().unwrap();
+        outcome.verify(eco.tree(), session.library()).unwrap();
+    }
+
+    /// A derate > 1 can overflow an extreme-but-finite RAT to infinity in
+    /// one corner; that must be a typed error *before* anything mutates,
+    /// never a panic with base and corners out of lockstep.
+    #[test]
+    fn derate_overflowing_rat_edit_is_typed_and_atomic() {
+        let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(4_000.0), 3);
+        let sink = tree.sinks().next().unwrap();
+        let mut eco = session
+            .eco(
+                &tree,
+                vec![Scenario::named("a"), Scenario::named("big").rat_derate(2.0)],
+            )
+            .unwrap();
+        let before = eco.solve().unwrap();
+        let err = eco
+            .apply(&Edit::SetSinkRat {
+                node: sink,
+                rat: Seconds::new(f64::MAX),
+            })
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Edit(_)), "{err}");
+        // Nothing moved: base tree and every corner still solve to the
+        // pre-edit answer and verify against the unmutated base.
+        let after = eco.solve().unwrap();
+        for (a, b) in before.scenarios.iter().zip(&after.scenarios) {
+            assert_eq!(
+                a.solution().unwrap().slack.value().to_bits(),
+                b.solution().unwrap().slack.value().to_bits()
+            );
+        }
+        after.verify(eco.tree(), session.library()).unwrap();
+    }
+}

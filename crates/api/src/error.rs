@@ -75,6 +75,9 @@ pub enum SolveError {
     /// A scenario named a delay model that
     /// [`model_by_name`](fastbuf_rctree::model_by_name) does not know.
     UnknownModel(String),
+    /// An ECO edit was rejected by the tree or library (see
+    /// [`EcoSolver::apply`](crate::EcoSolver::apply)).
+    Edit(fastbuf_incremental::EcoError),
 }
 
 impl fmt::Display for SolveError {
@@ -115,6 +118,7 @@ impl fmt::Display for SolveError {
                     "unknown delay model `{name}` (expected elmore or scaled-elmore)"
                 )
             }
+            SolveError::Edit(e) => write!(f, "eco: {e}"),
         }
     }
 }
@@ -125,6 +129,7 @@ impl Error for SolveError {
             SolveError::Cost(e) => Some(e),
             SolveError::Polarity(e) => Some(e),
             SolveError::Verify { error, .. } => Some(error),
+            SolveError::Edit(e) => Some(e),
             _ => None,
         }
     }

@@ -20,6 +20,10 @@
 //!   actually produced them, so [`Outcome::verify`] re-measures with the
 //!   same delay model the DP predicted with (the legacy
 //!   `Solution::verify` shim always measures with Elmore).
+//! * [`EcoSolver`] — the incremental (ECO) entry: [`Session::eco`] keeps
+//!   one persistent subtree cache *per scenario*, applies typed tree
+//!   edits, and re-solves bit-identically to a fresh request on the
+//!   edited tree while recomputing only the edited root paths.
 //! * [`SolveError`] — the `#[non_exhaustive]` typed error surface; no
 //!   entry point in this crate panics on user input.
 //!
@@ -59,6 +63,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod eco;
 mod error;
 pub mod json;
 mod outcome;
@@ -66,6 +71,7 @@ mod request;
 mod scenario;
 mod session;
 
+pub use eco::EcoSolver;
 pub use error::SolveError;
 pub use outcome::{Outcome, ScenarioOutcome, ScenarioResult};
 pub use request::{Objective, SolveRequest};

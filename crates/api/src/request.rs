@@ -141,12 +141,7 @@ impl<'a> SolveRequest<'a> {
             Some(list) if list.is_empty() => return Err(SolveError::NoScenarios),
             Some(list) => list.clone(),
         };
-        for (i, scenario) in scenarios.iter().enumerate() {
-            scenario.validate()?;
-            if scenarios[..i].iter().any(|s| s.name == scenario.name) {
-                return Err(SolveError::DuplicateScenario(scenario.name.clone()));
-            }
-        }
+        crate::scenario::validate_scenario_list(&scenarios)?;
         Ok(scenarios)
     }
 

@@ -128,6 +128,19 @@ impl Scenario {
     }
 }
 
+/// Validates a scenario list for a request: every scenario in range,
+/// names unique. Shared by [`SolveRequest`](crate::SolveRequest) and the
+/// ECO entry ([`Session::eco`](crate::Session::eco)).
+pub(crate) fn validate_scenario_list(scenarios: &[Scenario]) -> Result<(), SolveError> {
+    for (i, scenario) in scenarios.iter().enumerate() {
+        scenario.validate()?;
+        if scenarios[..i].iter().any(|s| s.name == scenario.name) {
+            return Err(SolveError::DuplicateScenario(scenario.name.clone()));
+        }
+    }
+    Ok(())
+}
+
 /// Parses a scenario file: one scenario per line,
 ///
 /// ```text

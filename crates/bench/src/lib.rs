@@ -14,6 +14,7 @@
 //! | `cost_frontier` | slack-vs-cost Pareto frontier (the paper's cost extension) |
 //! | `batch_throughput` | nets/sec of the `fastbuf-batch` worker pool at 1/2/4/8 workers (writes `BENCH_batch.json`) |
 //! | `slew_sweep` | slack / buffer-count / feasibility trade-off vs the per-net slew limit (writes `BENCH_slew.json`) |
+//! | `eco_speedup` | incremental vs from-scratch solves/sec under edit scripts at 1/10/50% locality (writes `BENCH_eco.json`) |
 //!
 //! Every harness accepts `--scale <f>` (shrink sink counts for quick runs;
 //! default 0.25) or `--full` (exact paper sizes), plus `--repeats <k>`.

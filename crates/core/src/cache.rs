@@ -1,0 +1,345 @@
+//! Per-subtree candidate-list caching — the seam behind incremental (ECO)
+//! re-solving.
+//!
+//! The DP computes, for every node `v`, the nonredundant candidate set
+//! `N(T_v)` of the subtree below `v`. That set depends only on (a) the tree
+//! parameters *inside* `T_v` and (b) the solve configuration (algorithm,
+//! delay model, slew limit, library, predecessor tracking) — never on
+//! anything upstream of `v`. A [`SubtreeCache`] exploits this: it
+//! checkpoints every node's finished list during a solve, and a later
+//! solve of the *same tree with localized edits* recomputes only the nodes
+//! marked dirty (the edited nodes' root paths), splicing cached sibling
+//! lists into merges unchanged. Results are bit-identical to a from-scratch
+//! solve of the edited tree — the cache only changes *which* computations
+//! run, never their arithmetic (asserted exhaustively by
+//! `tests/incremental_equivalence.rs`).
+//!
+//! # Ownership and invalidation invariants
+//!
+//! * The cache owns the predecessor [`PredArena`] of every candidate it
+//!   retains: cached `PredRef`s index into it, so it is **append-only
+//!   across solves** and cleared only by [`SubtreeCache::flush`] (which
+//!   invalidates every cached list at the same time).
+//! * A [config fingerprint](SolverOptions) — algorithm, tracking flag,
+//!   slew-limit bits, the delay model's content fingerprint, and a content
+//!   hash of the buffer library — is recorded at solve time. Any mismatch on a later
+//!   solve flushes everything: a stale-fingerprint reuse would be a silent
+//!   wrong answer, so the check is structural, not caller-discipline.
+//! * Dirtiness is the caller's contract: whoever mutates the tree must call
+//!   [`SubtreeCache::mark_path_dirty`] (or [`SubtreeCache::flush`]) before
+//!   the next cached solve. `fastbuf-incremental`'s `IncrementalSolver` is
+//!   the safe wrapper that owns both the tree and the cache and keeps them
+//!   in sync; use it unless you are building such a wrapper yourself.
+//! * The cache is keyed by node id and assumes edits are **topology
+//!   preserving** (same node count, parents, and post-order). The
+//!   fingerprint includes the node count as a backstop, but reusing one
+//!   cache across structurally different trees of equal size is undefined
+//!   *results* (never unsafety) — again, `IncrementalSolver` makes this
+//!   impossible by construction.
+
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_rctree::{NodeId, RoutingTree};
+
+use crate::arena::PredArena;
+use crate::candidate::CandidateList;
+use crate::engine::SolverOptions;
+use crate::pool::CandidatePool;
+
+/// The solve configuration a cache's contents were computed under.
+///
+/// The delay model is identified by [`DelayModel::fingerprint`] — a
+/// content hash every implementation must keep faithful to its arithmetic
+/// (parametrized models fold their parameters in), so two distinct `Arc`s
+/// to equal models match while a re-parametrized model never does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CacheFingerprint {
+    algorithm: crate::Algorithm,
+    track: bool,
+    slew_bits: u64,
+    model_fingerprint: u64,
+    lib_hash: u64,
+    nodes: usize,
+}
+
+/// FNV-1a over the library's solve-relevant content (built on the shared
+/// fingerprint primitive of `fastbuf_rctree::delay`): any change to any
+/// buffer parameter changes the hash and flushes dependent caches.
+fn library_hash(lib: &BufferLibrary) -> u64 {
+    use fastbuf_rctree::delay::{fingerprint_extend, fingerprint_name};
+    let mut h = fingerprint_name("buffer-library");
+    h = fingerprint_extend(h, lib.len() as u64);
+    for (_, b) in lib.iter() {
+        for v in [
+            b.driving_resistance().value().to_bits(),
+            b.input_capacitance().value().to_bits(),
+            b.intrinsic_delay().value().to_bits(),
+            b.output_slew().value().to_bits(),
+            b.cost().to_bits(),
+            b.max_load().map_or(u64::MAX, |m| m.value().to_bits()),
+            b.is_inverting() as u64,
+        ] {
+            h = fingerprint_extend(h, v);
+        }
+    }
+    h
+}
+
+impl CacheFingerprint {
+    pub(crate) fn of(options: &SolverOptions, lib: &BufferLibrary, nodes: usize) -> Self {
+        CacheFingerprint {
+            algorithm: options.algorithm,
+            track: options.track_predecessors,
+            slew_bits: options.slew_limit.map_or(u64::MAX, |s| s.value().to_bits()),
+            model_fingerprint: options.delay_model.fingerprint(),
+            lib_hash: library_hash(lib),
+            nodes,
+        }
+    }
+
+    fn matches(&self, other: &CacheFingerprint) -> bool {
+        self == other
+    }
+}
+
+/// Checkpointed per-node candidate lists of one `(tree, config)` pair, plus
+/// the predecessor arena those lists reference. See the module docs for the
+/// ownership and invalidation invariants.
+///
+/// Drive it through
+/// [`Solver::solve_cached`](crate::Solver::solve_cached) — or, almost
+/// always, through `fastbuf-incremental`'s `IncrementalSolver`, which owns
+/// the tree and keeps dirtiness in sync with edits automatically.
+#[derive(Debug, Default)]
+pub struct SubtreeCache {
+    lists: Vec<Option<CandidateList>>,
+    dirty: Vec<bool>,
+    arena: PredArena,
+    fingerprint: Option<CacheFingerprint>,
+    flushes: u64,
+}
+
+impl SubtreeCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        SubtreeCache::default()
+    }
+
+    /// Drops every cached list, clears the predecessor arena, and forgets
+    /// the fingerprint: the next cached solve recomputes everything.
+    /// Allocations are retained for reuse.
+    pub fn flush(&mut self) {
+        for slot in &mut self.lists {
+            *slot = None;
+        }
+        self.dirty.iter_mut().for_each(|d| *d = true);
+        self.arena.clear();
+        self.fingerprint = None;
+        self.flushes += 1;
+    }
+
+    /// Marks one node's cached list stale. No-op on a cold cache (where
+    /// everything is already due for recomputation) or out-of-range ids.
+    ///
+    /// Deliberately not public: a node marked dirty without its ancestors
+    /// would let a clean parent reuse a list computed from the node's old
+    /// value — a silently wrong result. The public dirtying primitives
+    /// are [`SubtreeCache::mark_path_dirty`] (an edit's exact footprint)
+    /// and [`SubtreeCache::flush`].
+    pub(crate) fn mark_dirty(&mut self, node: NodeId) {
+        if let Some(d) = self.dirty.get_mut(node.index()) {
+            *d = true;
+        }
+    }
+
+    /// Marks `node` and every ancestor up to the root stale — the exact
+    /// invalidation footprint of an edit inside `node` (for an edit to the
+    /// wire *above* `node`, start from the parent instead: the node's own
+    /// subtree list is unaffected).
+    pub fn mark_path_dirty(&mut self, tree: &RoutingTree, node: NodeId) {
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            self.mark_dirty(n);
+            cur = tree.parent(n);
+        }
+    }
+
+    /// `true` once a cached solve has populated the cache (and no flush or
+    /// fingerprint change has invalidated it since).
+    pub fn is_warm(&self) -> bool {
+        self.fingerprint.is_some()
+    }
+
+    /// Number of nodes currently holding a cached candidate list.
+    pub fn cached_nodes(&self) -> usize {
+        self.lists.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Entries in the cache-owned predecessor arena. Grows monotonically
+    /// across cached solves (the arena is append-only while cached lists
+    /// reference it); [`SubtreeCache::flush`] resets it. Wrappers bound
+    /// memory by flushing when this exceeds their budget.
+    pub fn arena_entries(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// How many times the cache has been flushed (explicitly or by a
+    /// fingerprint mismatch) — the observable proof that configuration
+    /// changes invalidate instead of silently reusing.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Readies the cache for a solve under `fingerprint`: on any mismatch
+    /// (different config, different library content, different node count,
+    /// or a cold cache) everything is flushed and marked dirty.
+    pub(crate) fn prepare(&mut self, fingerprint: CacheFingerprint) {
+        let n = fingerprint.nodes;
+        let matches = self
+            .fingerprint
+            .as_ref()
+            .is_some_and(|old| old.matches(&fingerprint));
+        if !matches {
+            self.flush();
+            self.lists.resize_with(n, || None);
+            self.lists.truncate(n);
+            self.dirty.clear();
+            self.dirty.resize(n, true);
+        }
+        self.fingerprint = Some(fingerprint);
+    }
+
+    /// Splits the cache into the parts the engine loop needs with disjoint
+    /// borrows: cached lists, dirty bits, and the arena.
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (
+        &mut Vec<Option<CandidateList>>,
+        &mut Vec<bool>,
+        &mut PredArena,
+    ) {
+        (&mut self.lists, &mut self.dirty, &mut self.arena)
+    }
+}
+
+/// Clones a cached list into pool-backed storage (the engine mutates its
+/// working copy through wire propagation; the cache keeps the original).
+pub(crate) fn clone_list_pooled(list: &CandidateList, pool: &mut CandidatePool) -> CandidateList {
+    let mut v = pool.take();
+    v.extend_from_slice(list.as_slice());
+    CandidateList::from_sorted(v)
+}
+
+/// Stores a snapshot of `list` into `slot`, reusing the previous
+/// snapshot's allocation when present.
+pub(crate) fn store_snapshot(slot: &mut Option<CandidateList>, list: &CandidateList) {
+    let mut v = match slot.take() {
+        Some(old) => {
+            let mut v = old.into_vec();
+            v.clear();
+            v
+        }
+        None => Vec::with_capacity(list.len()),
+    };
+    v.extend_from_slice(list.as_slice());
+    *slot = Some(CandidateList::from_sorted(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::units::{Farads, Ohms, Seconds};
+    use fastbuf_buflib::BufferType;
+    use fastbuf_rctree::ElmoreModel;
+    use std::sync::Arc;
+
+    fn fp(options: &SolverOptions, lib: &BufferLibrary) -> CacheFingerprint {
+        CacheFingerprint::of(options, lib, 10)
+    }
+
+    #[test]
+    fn fingerprint_matches_itself_and_rejects_config_changes() {
+        let lib = BufferLibrary::paper_synthetic(4).unwrap();
+        let base = SolverOptions::default();
+        assert!(fp(&base, &lib).matches(&fp(&base, &lib)));
+
+        let mut algo = base.clone();
+        algo.algorithm = crate::Algorithm::Lillis;
+        assert!(!fp(&algo, &lib).matches(&fp(&base, &lib)));
+
+        let mut track = base.clone();
+        track.track_predecessors = false;
+        assert!(!fp(&track, &lib).matches(&fp(&base, &lib)));
+
+        let mut slew = base.clone();
+        slew.slew_limit = Some(Seconds::from_pico(200.0));
+        assert!(!fp(&slew, &lib).matches(&fp(&base, &lib)));
+
+        // Model identity is by content fingerprint: a fresh Arc to an
+        // identical model matches, a re-parametrized model never does.
+        let mut same = base.clone();
+        same.delay_model = Arc::new(ElmoreModel);
+        assert!(fp(&same, &lib).matches(&fp(&base, &lib)));
+        let mut scaled_a = base.clone();
+        scaled_a.delay_model = Arc::new(fastbuf_rctree::ScaledElmoreModel::new(0.5));
+        let mut scaled_b = base.clone();
+        scaled_b.delay_model = Arc::new(fastbuf_rctree::ScaledElmoreModel::new(0.7));
+        assert!(!fp(&scaled_a, &lib).matches(&fp(&base, &lib)));
+        assert!(!fp(&scaled_a, &lib).matches(&fp(&scaled_b, &lib)));
+
+        // Library content is hashed: any parameter change mismatches.
+        let lib2 = BufferLibrary::new(vec![BufferType::new(
+            "b",
+            Ohms::new(123.0),
+            Farads::from_femto(5.0),
+            Seconds::from_pico(20.0),
+        )])
+        .unwrap();
+        assert!(!fp(&base, &lib2).matches(&fp(&base, &lib)));
+
+        // Node count is part of the key.
+        assert!(!CacheFingerprint::of(&base, &lib, 11).matches(&fp(&base, &lib)));
+    }
+
+    #[test]
+    fn library_hash_is_content_sensitive() {
+        let a = BufferLibrary::paper_synthetic(4).unwrap();
+        let b = BufferLibrary::paper_synthetic(4).unwrap();
+        assert_eq!(library_hash(&a), library_hash(&b));
+        let c = BufferLibrary::paper_synthetic(5).unwrap();
+        assert_ne!(library_hash(&a), library_hash(&c));
+        let d = BufferLibrary::paper_synthetic_jittered(4, 3).unwrap();
+        assert_ne!(library_hash(&a), library_hash(&d));
+    }
+
+    #[test]
+    fn prepare_flushes_on_mismatch_and_keeps_state_on_match() {
+        let lib = BufferLibrary::paper_synthetic(2).unwrap();
+        let opts = SolverOptions::default();
+        let mut cache = SubtreeCache::new();
+        assert!(!cache.is_warm());
+        cache.prepare(CacheFingerprint::of(&opts, &lib, 3));
+        assert!(cache.is_warm());
+        assert_eq!(cache.dirty, vec![true; 3]);
+        let flushes = cache.flush_count();
+
+        // Same fingerprint: nothing is invalidated.
+        cache.dirty = vec![false; 3];
+        cache.prepare(CacheFingerprint::of(&opts, &lib, 3));
+        assert_eq!(cache.dirty, vec![false; 3]);
+        assert_eq!(cache.flush_count(), flushes);
+
+        // Config change: full flush.
+        let mut other = opts.clone();
+        other.slew_limit = Some(Seconds::from_pico(100.0));
+        cache.prepare(CacheFingerprint::of(&other, &lib, 3));
+        assert_eq!(cache.dirty, vec![true; 3]);
+        assert_eq!(cache.flush_count(), flushes + 1);
+    }
+
+    #[test]
+    fn mark_dirty_is_bounds_safe() {
+        let mut cache = SubtreeCache::new();
+        cache.mark_dirty(NodeId::new(5)); // cold cache: no-op, no panic
+        assert!(!cache.is_warm());
+    }
+}

@@ -18,6 +18,7 @@ use fastbuf_rctree::{NodeKind, RoutingTree};
 
 use crate::arena::{PredArena, PredRef};
 use crate::buffering::{add_buffers, Algorithm, Scratch};
+use crate::cache::{clone_list_pooled, store_snapshot, CacheFingerprint, SubtreeCache};
 use crate::candidate::{Candidate, CandidateList};
 use crate::merge::merge_branches_pooled;
 use crate::slew::SlewPolicy;
@@ -220,6 +221,55 @@ impl<'a> Solver<'a> {
     /// pass it to every solve on that thread — this is how the batch
     /// subsystem (`fastbuf-batch`) eliminates per-net allocation churn.
     pub fn solve_with(&self, workspace: &mut SolveWorkspace) -> Solution {
+        self.solve_impl(workspace, None)
+    }
+
+    /// [`Solver::solve_with`] through a persistent [`SubtreeCache`]: only
+    /// nodes the cache marks dirty are recomputed; every clean node's
+    /// candidate list is spliced into merges straight from the cache.
+    ///
+    /// The result is **bit-identical** to a from-scratch solve of the same
+    /// tree under the same options — cached lists hold exactly the values a
+    /// fresh bottom-up pass would recompute (`N(T_v)` depends only on the
+    /// subtree below `v` and the solve configuration), so the arithmetic
+    /// and its order never change; only redundant recomputation is skipped.
+    /// The differential harness `tests/incremental_equivalence.rs` asserts
+    /// this across random edit scripts, algorithms, and slew modes.
+    ///
+    /// On any configuration mismatch (algorithm, tracking, slew limit,
+    /// delay-model identity, library content, node count) the cache flushes
+    /// itself and the solve runs cold — a stale-config reuse is structurally
+    /// impossible, not a caller obligation. Dirtiness for *tree edits* is
+    /// the caller's obligation (see [`SubtreeCache::mark_path_dirty`]);
+    /// `fastbuf-incremental`'s `IncrementalSolver` wraps tree, cache, and
+    /// solver so the two can never drift apart.
+    ///
+    /// [`SolveStats::nodes_recomputed`] / [`SolveStats::nodes_reused`]
+    /// report the split; `arena_entries` reports the cache arena's
+    /// cumulative size (it is append-only across cached solves).
+    pub fn solve_cached(
+        &self,
+        workspace: &mut SolveWorkspace,
+        cache: &mut SubtreeCache,
+    ) -> Solution {
+        cache.prepare(CacheFingerprint::of(
+            &self.options,
+            self.library,
+            self.tree.node_count(),
+        ));
+        self.solve_impl(workspace, Some(cache))
+    }
+
+    /// The shared DP loop. With `cache = None` this is the historical
+    /// from-scratch pass (arena cleared per solve); with a cache, clean
+    /// nodes are skipped, their lists cloned from the cache at the parent's
+    /// merge, recomputed lists snapshotted back, and the *cache's* arena
+    /// used append-only so cached `PredRef`s stay valid across solves.
+    fn solve_impl(
+        &self,
+        workspace: &mut SolveWorkspace,
+        cache: Option<&mut SubtreeCache>,
+    ) -> Solution {
         let start = Instant::now();
         let tree = self.tree;
         let lib = self.library;
@@ -231,15 +281,32 @@ impl<'a> Solver<'a> {
 
         let mut stats = SolveStats::default();
         let SolveWorkspace {
-            arena,
+            arena: ws_arena,
             scratch,
             lists,
         } = workspace;
-        arena.clear();
+        // Cached mode borrows the cache's lists/dirty bits and *its* arena
+        // (append-only); scratch mode clears and reuses the workspace arena.
+        let (mut cache_state, arena) = match cache {
+            Some(c) => {
+                let (cached_lists, dirty, cache_arena) = c.parts_mut();
+                (Some((cached_lists, dirty)), cache_arena)
+            }
+            None => {
+                ws_arena.clear();
+                (None, &mut *ws_arena)
+            }
+        };
         lists.clear();
         lists.resize(tree.node_count(), None);
+        let mut recomputed = 0u64;
 
         for &node in tree.postorder() {
+            if let Some((_, dirty)) = &cache_state {
+                if !dirty[node.index()] {
+                    continue; // clean subtree: its cached list is reused
+                }
+            }
             let list = match tree.kind(node) {
                 NodeKind::Sink {
                     capacitance,
@@ -256,9 +323,20 @@ impl<'a> Solver<'a> {
                 NodeKind::Internal | NodeKind::Source { .. } => {
                     let mut acc: Option<CandidateList> = None;
                     for &child in tree.children(node) {
-                        let mut cl = lists[child.index()]
-                            .take()
-                            .expect("post-order guarantees children are done");
+                        let mut cl = match lists[child.index()].take() {
+                            Some(cl) => cl,
+                            None => {
+                                let (cached_lists, _) = cache_state
+                                    .as_ref()
+                                    .expect("only clean cached children are skipped");
+                                clone_list_pooled(
+                                    cached_lists[child.index()]
+                                        .as_ref()
+                                        .expect("clean children are always cached"),
+                                    &mut scratch.pool,
+                                )
+                            }
+                        };
                         let wire = tree
                             .wire_to_parent(child)
                             .expect("non-root child has a wire");
@@ -305,12 +383,34 @@ impl<'a> Solver<'a> {
                 }
             };
             stats.max_list_len = stats.max_list_len.max(list.len());
+            if let Some((cached_lists, dirty)) = &mut cache_state {
+                store_snapshot(&mut cached_lists[node.index()], &list);
+                dirty[node.index()] = false;
+                recomputed += 1;
+            }
             lists[node.index()] = Some(list);
         }
 
-        let root_list = lists[tree.root().index()]
-            .take()
-            .expect("root is processed last");
+        let root_list = match lists[tree.root().index()].take() {
+            Some(list) => list,
+            None => {
+                // Every node was clean (a re-solve with no edits): the root
+                // list comes straight from the cache.
+                let (cached_lists, _) = cache_state
+                    .as_ref()
+                    .expect("the root is only skipped in cached mode");
+                clone_list_pooled(
+                    cached_lists[tree.root().index()]
+                        .as_ref()
+                        .expect("clean root is cached"),
+                    &mut scratch.pool,
+                )
+            }
+        };
+        if cache_state.is_some() {
+            stats.nodes_recomputed = recomputed;
+            stats.nodes_reused = tree.node_count() as u64 - recomputed;
+        }
         stats.root_list_len = root_list.len();
         let driver = tree.driver();
         let (dr, dk) = (
@@ -738,6 +838,164 @@ mod tests {
             assert_eq!(reused.slack, fresh.slack);
             assert_eq!(reused.placements, fresh.placements);
             assert_eq!(reused.slew_ok, fresh.slew_ok);
+        }
+    }
+
+    #[test]
+    fn cached_solve_is_bit_identical_and_reuses_on_resolve() {
+        use crate::cache::SubtreeCache;
+        let lib = paper_lib(8);
+        let mut tree = two_pin_line(10.0, 9, 2000.0);
+        let mut ws = SolveWorkspace::new();
+        let mut cache = SubtreeCache::new();
+
+        // Cold cached solve == scratch solve, bit for bit.
+        let cold = Solver::new(&tree, &lib).solve_cached(&mut ws, &mut cache);
+        let scratch = Solver::new(&tree, &lib).solve();
+        assert_eq!(
+            cold.slack.value().to_bits(),
+            scratch.slack.value().to_bits()
+        );
+        assert_eq!(cold.placements, scratch.placements);
+        assert_eq!(cold.stats.nodes_recomputed, tree.node_count() as u64);
+        assert_eq!(cold.stats.nodes_reused, 0);
+        assert_eq!(cache.cached_nodes(), tree.node_count());
+
+        // Re-solve with no edits: everything is reused, same answer.
+        let warm = Solver::new(&tree, &lib).solve_cached(&mut ws, &mut cache);
+        assert_eq!(
+            warm.slack.value().to_bits(),
+            scratch.slack.value().to_bits()
+        );
+        assert_eq!(warm.placements, scratch.placements);
+        assert_eq!(warm.stats.nodes_recomputed, 0);
+        assert_eq!(warm.stats.nodes_reused, tree.node_count() as u64);
+
+        // On a line net the sink's root path *is* the whole tree; an edit
+        // still goes through the cached path and stays bit-identical.
+        let sink = tree.sinks().next().unwrap();
+        tree.set_sink_rat(sink, Seconds::from_pico(1500.0)).unwrap();
+        cache.mark_path_dirty(&tree, sink);
+        let eco = Solver::new(&tree, &lib).solve_cached(&mut ws, &mut cache);
+        let fresh = Solver::new(&tree, &lib).solve();
+        assert_eq!(eco.slack.value().to_bits(), fresh.slack.value().to_bits());
+        assert_eq!(eco.placements, fresh.placements);
+        assert!(eco.stats.nodes_recomputed > 0);
+
+        // On a branchy net a single-leaf edit recomputes only its root
+        // path — strictly fewer nodes than the tree holds.
+        let mut branchy = fastbuf_netgen::RandomNetSpec {
+            sinks: 24,
+            seed: 7,
+            ..fastbuf_netgen::RandomNetSpec::default()
+        }
+        .build();
+        let mut cache2 = SubtreeCache::new();
+        let _ = Solver::new(&branchy, &lib).solve_cached(&mut ws, &mut cache2);
+        let sink = branchy.sinks().last().unwrap();
+        branchy
+            .set_sink_rat(sink, Seconds::from_pico(900.0))
+            .unwrap();
+        cache2.mark_path_dirty(&branchy, sink);
+        let eco = Solver::new(&branchy, &lib).solve_cached(&mut ws, &mut cache2);
+        let fresh = Solver::new(&branchy, &lib).solve();
+        assert_eq!(eco.slack.value().to_bits(), fresh.slack.value().to_bits());
+        assert_eq!(eco.placements, fresh.placements);
+        assert!(eco.stats.nodes_recomputed > 0);
+        assert!(
+            eco.stats.nodes_recomputed < branchy.node_count() as u64,
+            "a single-leaf edit must not recompute the whole tree: {} of {}",
+            eco.stats.nodes_recomputed,
+            branchy.node_count()
+        );
+        assert_eq!(
+            eco.stats.nodes_recomputed + eco.stats.nodes_reused,
+            branchy.node_count() as u64
+        );
+    }
+
+    #[test]
+    fn cached_solve_flushes_on_config_change() {
+        use crate::cache::SubtreeCache;
+        let lib = paper_lib(8);
+        let tree = two_pin_line(8.0, 7, 1800.0);
+        let n = tree.node_count() as u64;
+        let mut ws = SolveWorkspace::new();
+        let mut cache = SubtreeCache::new();
+        let _ = Solver::new(&tree, &lib).solve_cached(&mut ws, &mut cache);
+
+        // Changing the slew limit must flush: reusing would be silently
+        // wrong. The flushed solve still matches scratch bit for bit.
+        let limited = Solver::new(&tree, &lib)
+            .slew_limit(Seconds::from_pico(250.0))
+            .solve_cached(&mut ws, &mut cache);
+        assert_eq!(limited.stats.nodes_recomputed, n);
+        let scratch = Solver::new(&tree, &lib)
+            .slew_limit(Seconds::from_pico(250.0))
+            .solve();
+        assert_eq!(
+            limited.slack.value().to_bits(),
+            scratch.slack.value().to_bits()
+        );
+        assert_eq!(limited.placements, scratch.placements);
+        assert_eq!(limited.slew_ok, scratch.slew_ok);
+
+        // Interleaving two configs through one cache flushes every time —
+        // correct (if slow), never stale.
+        for _ in 0..2 {
+            let a = Solver::new(&tree, &lib).solve_cached(&mut ws, &mut cache);
+            assert_eq!(a.stats.nodes_recomputed, n);
+            let b = Solver::new(&tree, &lib)
+                .slew_limit(Seconds::from_pico(250.0))
+                .solve_cached(&mut ws, &mut cache);
+            assert_eq!(b.stats.nodes_recomputed, n);
+            assert_eq!(b.slack.value().to_bits(), scratch.slack.value().to_bits());
+        }
+
+        // A different library (even same size) flushes too.
+        let lib2 = fastbuf_buflib::BufferLibrary::paper_synthetic_jittered(8, 5).unwrap();
+        let swapped = Solver::new(&tree, &lib2).solve_cached(&mut ws, &mut cache);
+        assert_eq!(swapped.stats.nodes_recomputed, n);
+        let swapped_scratch = Solver::new(&tree, &lib2).solve();
+        assert_eq!(
+            swapped.slack.value().to_bits(),
+            swapped_scratch.slack.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn cached_solve_handles_branchy_nets_and_all_algorithms() {
+        use crate::cache::SubtreeCache;
+        let lib = paper_lib(16);
+        for algo in Algorithm::ALL {
+            let mut tree = fastbuf_netgen::RandomNetSpec {
+                sinks: 18,
+                seed: 11,
+                ..fastbuf_netgen::RandomNetSpec::default()
+            }
+            .build();
+            let mut ws = SolveWorkspace::new();
+            let mut cache = SubtreeCache::new();
+            let _ = Solver::new(&tree, &lib)
+                .algorithm(algo)
+                .solve_cached(&mut ws, &mut cache);
+            // Edit two different sinks and a wire, re-solving between edits.
+            let sinks: Vec<_> = tree.sinks().collect();
+            for (i, &s) in sinks.iter().take(3).enumerate() {
+                tree.set_sink_cap(s, Farads::from_femto(5.0 + i as f64))
+                    .unwrap();
+                cache.mark_path_dirty(&tree, s);
+                let eco = Solver::new(&tree, &lib)
+                    .algorithm(algo)
+                    .solve_cached(&mut ws, &mut cache);
+                let fresh = Solver::new(&tree, &lib).algorithm(algo).solve();
+                assert_eq!(
+                    eco.slack.value().to_bits(),
+                    fresh.slack.value().to_bits(),
+                    "{algo} edit {i}"
+                );
+                assert_eq!(eco.placements, fresh.placements, "{algo} edit {i}");
+            }
         }
     }
 

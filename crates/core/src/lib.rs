@@ -51,6 +51,7 @@
 
 mod arena;
 mod buffering;
+mod cache;
 mod candidate;
 pub mod cost;
 mod engine;
@@ -64,6 +65,7 @@ mod stats;
 
 pub use arena::{PredArena, PredEntry, PredRef};
 pub use buffering::Algorithm;
+pub use cache::SubtreeCache;
 pub use candidate::{Candidate, CandidateList};
 pub use engine::{SolveWorkspace, Solver, SolverOptions};
 // Re-exported so solver users can configure `SolverOptions::delay_model`

@@ -38,6 +38,14 @@ pub struct SolveStats {
     /// the slew limit (0 in unconstrained solves; wire steps only — merge
     /// prunes are enforced but not counted).
     pub slew_pruned: u64,
+    /// Nodes whose candidate lists were recomputed by a cached solve
+    /// ([`Solver::solve_cached`](crate::Solver::solve_cached)); `0` for
+    /// ordinary from-scratch solves, which do not report the split.
+    pub nodes_recomputed: u64,
+    /// Nodes whose cached candidate lists were reused unchanged by a
+    /// cached solve (`nodes_recomputed + nodes_reused` = node count there);
+    /// `0` for ordinary solves.
+    pub nodes_reused: u64,
     /// Largest candidate list seen at any node.
     pub max_list_len: usize,
     /// Candidate list length at the root.
@@ -65,7 +73,7 @@ impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} slew_pruned={} arena={} | {:?}",
+            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} slew_pruned={} arena={} | eco: recomputed={} reused={} | {:?}",
             self.wire_ops,
             self.merge_ops,
             self.addbuffer_ops,
@@ -78,6 +86,8 @@ impl fmt::Display for SolveStats {
             self.convex_pruned,
             self.slew_pruned,
             self.arena_entries,
+            self.nodes_recomputed,
+            self.nodes_reused,
             self.elapsed,
         )
     }

@@ -15,7 +15,10 @@
 //! * [`caterpillar_net`] — a trunk with periodic sink stubs (bus-like);
 //! * [`h_tree`] — symmetric clock-style H-trees;
 //! * [`SuiteSpec`] — whole *fleets* of nets with a realistic heavy-tailed
-//!   size mix, for the batch subsystem and throughput benchmarks.
+//!   size mix, for the batch subsystem and throughput benchmarks;
+//! * [`eco`] — typed tree [`Edit`](eco::Edit)s and deterministic
+//!   [`EditScriptSpec`](eco::EditScriptSpec) generation for incremental
+//!   (ECO) re-solve workloads, plus a text format for edit scripts.
 //!
 //! Everything is seeded and deterministic: the same spec always builds the
 //! same net, so benchmark tables are reproducible run to run.
@@ -32,6 +35,7 @@
 #![deny(missing_debug_implementations)]
 
 mod clock;
+pub mod eco;
 mod line;
 mod random;
 mod suite;

@@ -84,6 +84,39 @@ pub trait DelayModel: fmt::Debug + Send + Sync {
     fn stage_budget(&self, slew_limit: f64, slew0: f64) -> f64 {
         (slew_limit - slew0) / LN9
     }
+
+    /// A content fingerprint of this model: two models whose fingerprints
+    /// are equal **must** produce identical arithmetic for every input.
+    /// Caches (`fastbuf-core`'s `SubtreeCache`) key solve results on it, so
+    /// a parametrized model must fold every parameter in — the default
+    /// hashes only [`DelayModel::name`] and is correct only for parameterless
+    /// models.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_name(self.name())
+    }
+}
+
+/// FNV-1a of a model name — the building block for
+/// [`DelayModel::fingerprint`] implementations (combine with parameter bits
+/// via [`fingerprint_extend`] for parametrized models).
+pub fn fingerprint_name(name: &str) -> u64 {
+    fnv1a(0xcbf29ce484222325, name.as_bytes())
+}
+
+/// Folds the eight little-endian bytes of `value` into an FNV-1a `hash` —
+/// the shared primitive behind [`fingerprint_name`] and every content
+/// fingerprint in the workspace (e.g. the solve-config fingerprints of
+/// `fastbuf-core`'s subtree cache), so the hash constants live in exactly
+/// one place.
+pub fn fingerprint_extend(hash: u64, value: u64) -> u64 {
+    fnv1a(hash, &value.to_le_bytes())
+}
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    hash
 }
 
 /// The paper's model: Elmore wire delay `r·(cw/2 + load)`, linear gate
@@ -154,6 +187,12 @@ impl DelayModel for ScaledElmoreModel {
     fn wire_delay(&self, r: f64, cw: f64, load: f64) -> f64 {
         self.wire_scale * (r * (cw / 2.0 + load))
     }
+
+    /// Folds the wire-scale factor in: two scaled models agree only when
+    /// their factors agree bit for bit.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_extend(fingerprint_name(self.name()), self.wire_scale.to_bits())
+    }
 }
 
 /// Resolves a model by its [`DelayModel::name`], for CLI flags and config
@@ -215,6 +254,25 @@ mod tests {
         assert!(m.slew(0.0, 200.0, 1e-14, 1e-12) > base);
         assert!(m.slew(0.0, 100.0, 2e-14, 1e-12) > base);
         assert!(m.slew(0.0, 100.0, 1e-14, 2e-12) > base);
+    }
+
+    #[test]
+    fn fingerprints_separate_models_and_parameters() {
+        assert_eq!(ElmoreModel.fingerprint(), ElmoreModel.fingerprint());
+        assert_ne!(
+            ElmoreModel.fingerprint(),
+            ScaledElmoreModel::default().fingerprint()
+        );
+        // Same type, different parameter: different fingerprint — a cache
+        // keyed on it must not reuse results across scales.
+        assert_ne!(
+            ScaledElmoreModel::new(0.5).fingerprint(),
+            ScaledElmoreModel::new(0.7).fingerprint()
+        );
+        assert_eq!(
+            ScaledElmoreModel::new(0.5).fingerprint(),
+            ScaledElmoreModel::new(0.5).fingerprint()
+        );
     }
 
     #[test]

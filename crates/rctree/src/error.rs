@@ -66,6 +66,16 @@ pub enum TreeError {
         /// The offending node.
         node: NodeId,
     },
+    /// A sink-parameter edit targeted a node that is not a sink.
+    NotASink {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A wire edit targeted the root, which has no parent wire.
+    NoParentWire {
+        /// The offending node (the root).
+        node: NodeId,
+    },
     /// Segmenting by length was requested but a wire has no length.
     MissingWireLength {
         /// The child endpoint of the length-less wire.
@@ -116,6 +126,12 @@ impl fmt::Display for TreeError {
             }
             TreeError::SiteOnNonInternal { node } => {
                 write!(f, "buffer-site constraint on non-internal node {node}")
+            }
+            TreeError::NotASink { node } => {
+                write!(f, "node {node} is not a sink")
+            }
+            TreeError::NoParentWire { node } => {
+                write!(f, "node {node} is the root and has no parent wire")
             }
             TreeError::MissingWireLength { child } => {
                 write!(f, "wire into {child} has no geometric length")

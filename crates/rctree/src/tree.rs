@@ -137,6 +137,106 @@ impl RoutingTree {
         TreeStats::compute(self)
     }
 
+    /// Replaces the wire from `node` to its parent — a topology-preserving
+    /// edit: ids, parents, children, and the post-order stay valid, so
+    /// per-subtree caches keyed on node ids survive (only the path from
+    /// `node`'s parent to the root needs re-solving; see
+    /// `fastbuf-incremental`).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`], [`TreeError::NoParentWire`] (the root
+    /// has no parent wire), or [`TreeError::InvalidWire`] (negative /
+    /// non-finite parasitics).
+    pub fn set_wire_to_parent(&mut self, node: NodeId, wire: Wire) -> Result<(), TreeError> {
+        if node.index() >= self.kinds.len() {
+            return Err(TreeError::UnknownNode { node });
+        }
+        if self.parent[node.index()].is_none() {
+            return Err(TreeError::NoParentWire { node });
+        }
+        if !wire.is_valid() {
+            return Err(TreeError::InvalidWire { child: node });
+        }
+        self.wires[node.index()] = wire;
+        Ok(())
+    }
+
+    /// Replaces the required arrival time of sink `node` (topology
+    /// preserving, like [`RoutingTree::set_wire_to_parent`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`], [`TreeError::NotASink`], or
+    /// [`TreeError::InvalidSink`] (non-finite RAT).
+    pub fn set_sink_rat(&mut self, node: NodeId, rat: Seconds) -> Result<(), TreeError> {
+        if !rat.is_finite() {
+            return Err(TreeError::InvalidSink { node });
+        }
+        match self.kinds.get_mut(node.index()) {
+            None => Err(TreeError::UnknownNode { node }),
+            Some(NodeKind::Sink {
+                required_arrival, ..
+            }) => {
+                *required_arrival = rat;
+                Ok(())
+            }
+            Some(_) => Err(TreeError::NotASink { node }),
+        }
+    }
+
+    /// Replaces the load capacitance of sink `node` (topology preserving).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`], [`TreeError::NotASink`], or
+    /// [`TreeError::InvalidSink`] (negative / non-finite capacitance).
+    pub fn set_sink_cap(&mut self, node: NodeId, cap: Farads) -> Result<(), TreeError> {
+        if !cap.is_finite() || cap < Farads::ZERO {
+            return Err(TreeError::InvalidSink { node });
+        }
+        match self.kinds.get_mut(node.index()) {
+            None => Err(TreeError::UnknownNode { node }),
+            Some(NodeKind::Sink { capacitance, .. }) => {
+                *capacitance = cap;
+                Ok(())
+            }
+            Some(_) => Err(TreeError::NotASink { node }),
+        }
+    }
+
+    /// Replaces the buffer-site constraint at `node`, keeping
+    /// [`RoutingTree::buffer_site_count`] in sync (topology preserving).
+    /// Mirrors [`TreeBuilder::set_site_constraint`]: clearing a constraint
+    /// on a sink or the source is an allowed no-op, placing one there is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] or [`TreeError::SiteOnNonInternal`].
+    pub fn set_site_constraint(
+        &mut self,
+        node: NodeId,
+        constraint: SiteConstraint,
+    ) -> Result<(), TreeError> {
+        let kind = self
+            .kinds
+            .get(node.index())
+            .ok_or(TreeError::UnknownNode { node })?;
+        if !kind.is_internal() && constraint.is_site() {
+            return Err(TreeError::SiteOnNonInternal { node });
+        }
+        let was = self.sites[node.index()].is_site();
+        let is = constraint.is_site();
+        self.sites[node.index()] = constraint;
+        match (was, is) {
+            (true, false) => self.site_count -= 1,
+            (false, true) => self.site_count += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// A copy of this tree with every sink's required arrival time
     /// multiplied by `factor` — the "required-time derate" of a timing
     /// scenario (a pessimistic corner uses `factor < 1`). Topology, wires,
@@ -695,6 +795,104 @@ mod tests {
         let snk = b.sink(Farads::from_femto(5.0), Seconds::from_pico(100.0));
         b.connect(src, snk, wire()).unwrap();
         let _ = b.build().unwrap().with_derated_rats(0.0);
+    }
+
+    #[test]
+    fn in_place_edits_preserve_topology_and_counts() {
+        let mut t = small_tree();
+        let post_before = t.postorder().to_vec();
+        let sink = NodeId::new(2);
+        let site = NodeId::new(1);
+        let tee = NodeId::new(3);
+
+        // Wire edit.
+        let new_wire = Wire::new(Ohms::new(99.0), Farads::from_femto(3.0));
+        t.set_wire_to_parent(sink, new_wire).unwrap();
+        assert_eq!(
+            t.wire_to_parent(sink).unwrap().resistance(),
+            Ohms::new(99.0)
+        );
+
+        // Sink edits.
+        t.set_sink_rat(sink, Seconds::from_pico(321.0)).unwrap();
+        t.set_sink_cap(sink, Farads::from_femto(9.0)).unwrap();
+        match t.kind(sink) {
+            NodeKind::Sink {
+                capacitance,
+                required_arrival,
+            } => {
+                assert_eq!(*capacitance, Farads::from_femto(9.0));
+                assert_eq!(*required_arrival, Seconds::from_pico(321.0));
+            }
+            _ => panic!("sink stays a sink"),
+        }
+
+        // Site block / unblock keeps the count in sync.
+        assert_eq!(t.buffer_site_count(), 1);
+        t.set_site_constraint(site, SiteConstraint::NotASite)
+            .unwrap();
+        assert_eq!(t.buffer_site_count(), 0);
+        assert!(!t.is_buffer_site(site));
+        t.set_site_constraint(tee, SiteConstraint::AnyBuffer)
+            .unwrap();
+        t.set_site_constraint(site, SiteConstraint::AnyBuffer)
+            .unwrap();
+        assert_eq!(t.buffer_site_count(), 2);
+        // Re-applying the same constraint does not double-count.
+        t.set_site_constraint(site, SiteConstraint::AnyBuffer)
+            .unwrap();
+        assert_eq!(t.buffer_site_count(), 2);
+
+        // Topology untouched throughout.
+        assert_eq!(t.postorder(), post_before.as_slice());
+    }
+
+    #[test]
+    fn in_place_edit_errors() {
+        let mut t = small_tree();
+        let ghost = NodeId::new(99);
+        let sink = NodeId::new(2);
+        let site = NodeId::new(1);
+        let w = wire();
+
+        assert_eq!(
+            t.set_wire_to_parent(ghost, w).unwrap_err(),
+            TreeError::UnknownNode { node: ghost }
+        );
+        assert_eq!(
+            t.set_wire_to_parent(t.root(), w).unwrap_err(),
+            TreeError::NoParentWire { node: t.root() }
+        );
+        assert_eq!(
+            t.set_wire_to_parent(sink, Wire::new(Ohms::new(-1.0), Farads::ZERO))
+                .unwrap_err(),
+            TreeError::InvalidWire { child: sink }
+        );
+        assert_eq!(
+            t.set_sink_rat(ghost, Seconds::ZERO).unwrap_err(),
+            TreeError::UnknownNode { node: ghost }
+        );
+        assert_eq!(
+            t.set_sink_rat(site, Seconds::ZERO).unwrap_err(),
+            TreeError::NotASink { node: site }
+        );
+        assert_eq!(
+            t.set_sink_rat(sink, Seconds::new(f64::INFINITY))
+                .unwrap_err(),
+            TreeError::InvalidSink { node: sink }
+        );
+        assert_eq!(
+            t.set_sink_cap(sink, Farads::new(-1e-15)).unwrap_err(),
+            TreeError::InvalidSink { node: sink }
+        );
+        assert_eq!(
+            t.set_site_constraint(sink, SiteConstraint::AnyBuffer)
+                .unwrap_err(),
+            TreeError::SiteOnNonInternal { node: sink }
+        );
+        // Clearing on a sink is an allowed no-op (mirrors the builder).
+        t.set_site_constraint(sink, SiteConstraint::NotASite)
+            .unwrap();
     }
 
     #[test]

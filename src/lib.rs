@@ -20,12 +20,13 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`api`] | `fastbuf-api` | **the front door**: `Session`, `SolveRequest`, multi-scenario `Outcome` |
+//! | [`api`] | `fastbuf-api` | **the front door**: `Session`, `SolveRequest`, multi-scenario `Outcome`, `Session::eco` |
 //! | [`buflib`] | `fastbuf-buflib` | units, buffers, libraries, technology, clustering |
 //! | [`rctree`] | `fastbuf-rctree` | routing trees, delay models, Elmore evaluation, segmenting, net files |
-//! | (root) | `fastbuf-core` | the solvers themselves |
-//! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets and suites at the paper's scales |
+//! | (root) | `fastbuf-core` | the solvers themselves (plus the `SubtreeCache` seam) |
+//! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets, suites, and ECO edit scripts |
 //! | [`batch`] | `fastbuf-batch` | parallel batch solving of net fleets over a worker pool |
+//! | [`incremental`] | `fastbuf-incremental` | incremental (ECO) re-solving with per-subtree caching, bit-identical to scratch |
 //!
 //! # Quick start
 //!
@@ -68,6 +69,7 @@ pub use fastbuf_api as api;
 pub use fastbuf_batch as batch;
 pub use fastbuf_buflib as buflib;
 pub use fastbuf_design as design;
+pub use fastbuf_incremental as incremental;
 pub use fastbuf_netgen as netgen;
 pub use fastbuf_rctree as rctree;
 
@@ -76,15 +78,16 @@ pub use fastbuf_core::polarity;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
     CandidateList, DelayModel, ElmoreModel, Placement, PredArena, PredEntry, PredRef,
-    ScaledElmoreModel, Solution, SolveStats, SolveWorkspace, Solver, SolverOptions, VerifyError,
+    ScaledElmoreModel, Solution, SolveStats, SolveWorkspace, Solver, SolverOptions, SubtreeCache,
+    VerifyError,
 };
 
 /// One-stop imports for applications: the request API, solver, library,
 /// tree-building and unit types.
 pub mod prelude {
     pub use fastbuf_api::{
-        Objective, Outcome, Scenario, ScenarioOutcome, ScenarioResult, Session, SolveError,
-        SolveRequest,
+        EcoSolver, Objective, Outcome, Scenario, ScenarioOutcome, ScenarioResult, Session,
+        SolveError, SolveRequest,
     };
     pub use fastbuf_batch::{BatchOptions, BatchReport, BatchSolver};
     pub use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
@@ -95,6 +98,8 @@ pub mod prelude {
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
     pub use fastbuf_core::{
         Algorithm, DelayModel, ElmoreModel, ScaledElmoreModel, Solution, SolveWorkspace, Solver,
+        SolverOptions, SubtreeCache,
     };
+    pub use fastbuf_incremental::{EcoError, Edit, EditScriptSpec, IncrementalSolver};
     pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
 }

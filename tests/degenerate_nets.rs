@@ -187,6 +187,100 @@ fn batch_handles_degenerate_fleets() {
     }
 }
 
+/// Satellite regression: a `BlockSite` edit that removes the *last* legal
+/// site leaves a zero-site tree whose only completion is unbuffered. The
+/// incremental solve, `Solution::verify`/`verify_with`, and the api-level
+/// `Outcome::verify` must all report the infeasibility honestly
+/// (`slew_ok = false` under a binding limit) and never panic — through the
+/// incremental path (cache populated with the site present, then
+/// invalidated by the block) as well as from scratch.
+#[test]
+fn blocking_the_last_site_is_verifiable_never_panics() {
+    use fastbuf::incremental::{Edit, IncrementalSolver};
+    let tech = Technology::tsmc180_like();
+    let lib = BufferLibrary::paper_synthetic(4).unwrap();
+
+    // One site in the middle of a 10 mm line: buffered it meets a 300 ps
+    // limit, unbuffered it cannot.
+    let mut b = TreeBuilder::new();
+    let src = b.source(Driver::new(Ohms::new(180.0)));
+    let site = b.buffer_site();
+    let snk = b.sink(Farads::from_femto(20.0), Seconds::from_pico(2000.0));
+    b.connect(src, site, Wire::from_length(&tech, Microns::new(5000.0)))
+        .unwrap();
+    b.connect(site, snk, Wire::from_length(&tech, Microns::new(5000.0)))
+        .unwrap();
+    let tree = b.build().unwrap();
+    // A limit strictly between the buffered optimum's worst slew and the
+    // unbuffered worst slew: feasible exactly as long as the site exists.
+    let buffered = Solver::new(&tree, &lib).solve();
+    assert!(!buffered.placements.is_empty());
+    let s_buf = elmore::evaluate(&tree, &lib, &buffered.placement_pairs())
+        .unwrap()
+        .max_slew;
+    let s_unbuf = elmore::evaluate(&tree, &lib, &[]).unwrap().max_slew;
+    assert!(s_buf < s_unbuf);
+    let limit = Seconds::new(0.5 * (s_buf.value() + s_unbuf.value()));
+
+    let mut options = SolverOptions::default();
+    options.slew_limit = Some(limit);
+    let mut solver = IncrementalSolver::new(tree.clone(), lib.clone()).with_options(options);
+    let before = solver.solve();
+    assert!(before.slew_ok, "one mid-line buffer meets {limit}");
+    assert!(!before.placements.is_empty());
+
+    // The blockage lands on the only site.
+    solver.apply(&Edit::BlockSite { node: site }).unwrap();
+    assert_eq!(solver.tree().buffer_site_count(), 0);
+    for sol in [solver.solve(), solver.solve_scratch()] {
+        assert!(sol.placements.is_empty(), "no site, no buffers");
+        assert!(!sol.slew_ok, "unbuffered 10 mm line cannot meet 300 ps");
+        assert!(!sol.slack.value().is_nan());
+        // Verification measures the best-effort unbuffered solution —
+        // must succeed (slack matches), never panic.
+        sol.verify(solver.tree(), &lib).unwrap();
+        sol.verify_with(solver.tree(), &lib, &ElmoreModel).unwrap();
+    }
+
+    // Same story through the api ECO entry and Outcome::verify, with a
+    // derated corner riding along.
+    let session = Session::new(lib.clone());
+    let mut eco = session
+        .eco(
+            &tree,
+            vec![
+                Scenario::named("signoff").slew_limit(limit),
+                Scenario::named("slow").slew_limit(limit).rat_derate(0.9),
+            ],
+        )
+        .unwrap();
+    let before = eco.solve().unwrap();
+    assert!(before
+        .scenarios
+        .iter()
+        .all(|s| s.solution().unwrap().slew_ok));
+    eco.apply(&Edit::BlockSite { node: site }).unwrap();
+    let after = eco.solve().unwrap();
+    for corner in &after.scenarios {
+        let sol = corner.solution().unwrap();
+        assert!(!sol.slew_ok, "{}", corner.scenario.name);
+        assert!(sol.placements.is_empty(), "{}", corner.scenario.name);
+    }
+    // Model-and-derate-aware verification of the infeasible outcome against
+    // the *edited* tree: must be Ok (the best-effort slack is achievable),
+    // never a panic.
+    after.verify(eco.tree(), session.library()).unwrap();
+
+    // Unblocking restores feasibility through the same cache.
+    eco.apply(&Edit::UnblockSite { node: site }).unwrap();
+    let restored = eco.solve().unwrap();
+    assert!(restored
+        .scenarios
+        .iter()
+        .all(|s| s.solution().unwrap().slew_ok));
+    restored.verify(eco.tree(), session.library()).unwrap();
+}
+
 #[test]
 fn unbuffered_degenerate_slack_matches_oracle() {
     // The DP on a siteless net must equal the plain forward evaluation.

@@ -166,6 +166,56 @@ fn cost_frontier_matches_budgeted_enumeration() {
     }
 }
 
+/// Satellite: after every edit of an ECO script, the *incremental* solver
+/// still finds exactly the brute-force optimum of the edited tree (and its
+/// reconstruction achieves it on the forward evaluator) — the oracle
+/// re-certifies true optimality, not just scratch-equality, across edits
+/// including site blocks/unblocks that change the enumeration domain.
+#[test]
+fn incremental_solver_matches_exhaustive_enumeration_after_edits() {
+    use fastbuf::incremental::{EditScriptSpec, IncrementalSolver};
+
+    for b in [2usize, 3] {
+        let lib = tiny_library(b);
+        for (name, tree) in tiny_nets() {
+            if (lib.len() + 1).pow(tree.buffer_site_count() as u32) > 200_000 {
+                continue;
+            }
+            let mut solver = IncrementalSolver::new(tree, lib.clone());
+            // Deterministic per-net script; no library swaps (the oracle
+            // enumerates against `lib`).
+            let script = EditScriptSpec {
+                edits: 6,
+                locality: 1.0,
+                seed: 7 + b as u64,
+                swap_library_every: 0,
+            }
+            .generate(solver.tree());
+            for (k, edit) in script.iter().enumerate() {
+                solver
+                    .apply(edit)
+                    .unwrap_or_else(|e| panic!("{name} edit {k}: {e}"));
+                // Unblocks can grow the domain past the brute-force guard.
+                if (lib.len() + 1).pow(solver.tree().buffer_site_count() as u32) > 200_000 {
+                    continue;
+                }
+                let (true_best, _) = brute_force(solver.tree(), &lib, 0);
+                let sol = solver.solve();
+                assert!(
+                    (sol.slack.picos() - true_best).abs() < 1e-6,
+                    "{name} b={b} edit {k} (`{edit}`): incremental {} vs brute force {}",
+                    sol.slack.picos(),
+                    true_best
+                );
+                let measured = sol
+                    .verify(solver.tree(), &lib)
+                    .unwrap_or_else(|e| panic!("{name} edit {k}: {e}"));
+                assert!((measured.picos() - true_best).abs() < 1e-6);
+            }
+        }
+    }
+}
+
 #[test]
 fn permanent_pruning_stays_within_oracle_bound() {
     let lib = tiny_library(3);

@@ -1,0 +1,198 @@
+//! Differential proof of the ECO engine's headline guarantee: **every
+//! incremental result is bit-identical to a from-scratch solve of the
+//! edited tree** — same slack bits, same placements, same slew verdict —
+//! across random edit scripts × netgen nets × all algorithms × slew
+//! on/off, after *every* edit of every script.
+//!
+//! The main property runs 48 proptest cases of up to 50 edits each
+//! (~1200+ edit comparisons per run; CI additionally runs this suite in
+//! release). A second property pins the complexity claim: a single-leaf
+//! edit on a branchy net recomputes strictly fewer nodes than the tree
+//! holds.
+
+use proptest::prelude::*;
+
+use fastbuf::incremental::{Edit, EditScriptSpec, IncrementalSolver};
+use fastbuf::prelude::*;
+
+fn net(sinks: usize, seed: u64, pitch: f64) -> fastbuf::rctree::RoutingTree {
+    fastbuf::netgen::RandomNetSpec {
+        sinks,
+        seed,
+        die: Microns::new(1500.0 + 50.0 * sinks as f64),
+        site_pitch: Some(Microns::new(pitch)),
+        ..fastbuf::netgen::RandomNetSpec::default()
+    }
+    .build()
+}
+
+fn assert_identical(inc: &Solution, scratch: &Solution, context: &dyn std::fmt::Display) {
+    assert_eq!(
+        inc.slack.value().to_bits(),
+        scratch.slack.value().to_bits(),
+        "slack diverged {context}: incremental {} vs scratch {}",
+        inc.slack,
+        scratch.slack
+    );
+    assert_eq!(
+        inc.root_q.value().to_bits(),
+        scratch.root_q.value().to_bits(),
+        "root Q diverged {context}"
+    );
+    assert_eq!(
+        inc.root_load.value().to_bits(),
+        scratch.root_load.value().to_bits(),
+        "root load diverged {context}"
+    );
+    assert_eq!(
+        inc.root_slew.value().to_bits(),
+        scratch.root_slew.value().to_bits(),
+        "root slew diverged {context}"
+    );
+    assert_eq!(
+        inc.placements, scratch.placements,
+        "placements diverged {context}"
+    );
+    assert_eq!(
+        inc.slew_ok, scratch.slew_ok,
+        "slew verdict diverged {context}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The differential property: replay a random script, comparing the
+    /// cached solve against a from-scratch oracle after every edit.
+    /// Scripts include SwapLibrary (full flush) every 11th edit; algorithm
+    /// and slew mode are part of the sampled space.
+    #[test]
+    fn incremental_is_bit_identical_to_scratch(
+        sinks in 2usize..26,
+        net_seed in 0u64..400,
+        pitch in 120.0f64..450.0,
+        edits in 1usize..51,
+        locality_pct in 5u32..101,
+        script_seed in 0u64..1000,
+        algo_idx in 0usize..3,
+        slew_sel in 0u32..2,
+    ) {
+        let tree = net(sinks, net_seed, pitch);
+        let lib = BufferLibrary::paper_synthetic(8).expect("b > 0");
+        let mut options = SolverOptions::default();
+        options.algorithm = Algorithm::ALL[algo_idx];
+        if slew_sel == 1 {
+            options.slew_limit = Some(Seconds::from_pico(320.0));
+        }
+        let mut solver = IncrementalSolver::new(tree, lib).with_options(options);
+
+        // Cold cached solve must already match scratch.
+        assert_identical(&solver.solve(), &solver.solve_scratch(), &"before any edit");
+
+        let script = EditScriptSpec {
+            edits,
+            locality: locality_pct as f64 / 100.0,
+            seed: script_seed,
+            swap_library_every: 11,
+        }
+        .generate(solver.tree());
+        for (k, edit) in script.iter().enumerate() {
+            solver.apply(edit).expect("generated edits are valid");
+            let inc = solver.solve();
+            let scratch = solver.solve_scratch();
+            assert_identical(&inc, &scratch, &format!("after edit {k} (`{edit}`)"));
+            prop_assert_eq!(
+                inc.stats.nodes_recomputed + inc.stats.nodes_reused,
+                solver.tree().node_count() as u64
+            );
+        }
+    }
+
+    /// Complexity pin: on a branchy net, one sink-local edit recomputes
+    /// strictly fewer nodes than the tree holds (and at least one), while
+    /// still matching the scratch oracle.
+    #[test]
+    fn single_leaf_edits_recompute_strictly_fewer_nodes(
+        sinks in 8usize..30,
+        net_seed in 0u64..300,
+        sink_sel in 0usize..1000,
+        rat_scale in 0.6f64..1.4,
+    ) {
+        let tree = net(sinks, net_seed, 220.0);
+        let lib = BufferLibrary::paper_synthetic(8).expect("b > 0");
+        let mut solver = IncrementalSolver::new(tree, lib);
+        let _ = solver.solve(); // warm the cache
+
+        let sinks_list: Vec<_> = solver.tree().sinks().collect();
+        let sink = sinks_list[sink_sel % sinks_list.len()];
+        let NodeKind::Sink { required_arrival, .. } = *solver.tree().kind(sink) else {
+            unreachable!("sinks() yields sinks")
+        };
+        solver
+            .apply(&Edit::SetSinkRat {
+                node: sink,
+                rat: Seconds::new(required_arrival.value() * rat_scale),
+            })
+            .expect("sink edit is valid");
+
+        let inc = solver.solve();
+        let n = solver.tree().node_count() as u64;
+        prop_assert!(inc.stats.nodes_recomputed >= 1);
+        prop_assert!(
+            inc.stats.nodes_recomputed < n,
+            "single-leaf edit recomputed {} of {} nodes",
+            inc.stats.nodes_recomputed,
+            n
+        );
+        prop_assert_eq!(inc.stats.nodes_recomputed + inc.stats.nodes_reused, n);
+        assert_identical(&inc, &solver.solve_scratch(), &"single-leaf edit");
+    }
+}
+
+/// Deterministic heavy case kept outside proptest so `--nocapture` runs
+/// show a stable, quotable count: 5 suites × 3 algorithms × slew on/off ×
+/// 40 edits ≈ 1200 differential comparisons in one test.
+#[test]
+fn suite_scripts_stay_bit_identical_across_algorithms_and_slew() {
+    let spec = fastbuf::netgen::SuiteSpec {
+        nets: 5,
+        max_sinks: 48,
+        seed: 23,
+        ..fastbuf::netgen::SuiteSpec::default()
+    };
+    let lib = BufferLibrary::paper_synthetic(8).unwrap();
+    let mut comparisons = 0usize;
+    for i in 0..spec.nets {
+        let tree = spec.build_net(i);
+        for algo in Algorithm::ALL {
+            for slew in [None, Some(Seconds::from_pico(350.0))] {
+                let mut options = SolverOptions::default();
+                options.algorithm = algo;
+                options.slew_limit = slew;
+                let mut solver =
+                    IncrementalSolver::new(tree.clone(), lib.clone()).with_options(options);
+                let script = EditScriptSpec {
+                    edits: 40,
+                    locality: 0.25,
+                    seed: 100 + i as u64,
+                    swap_library_every: 13,
+                }
+                .generate(solver.tree());
+                for (k, edit) in script.iter().enumerate() {
+                    solver.apply(edit).unwrap();
+                    assert_identical(
+                        &solver.solve(),
+                        &solver.solve_scratch(),
+                        &format!("net {i} algo {algo} slew {slew:?} edit {k}"),
+                    );
+                    comparisons += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        comparisons >= 1000,
+        "expected >= 1000 differential comparisons, ran {comparisons}"
+    );
+    println!("ran {comparisons} incremental-vs-scratch comparisons");
+}
