@@ -80,6 +80,51 @@ pub enum SolveError {
     Edit(fastbuf_incremental::EcoError),
 }
 
+impl SolveError {
+    /// The stable kebab-case kind of this error.
+    ///
+    /// This is the machine-readable name shared by every surface that has
+    /// to map errors to something flat: the server uses it verbatim as
+    /// the wire `error.code`, and the CLI derives its exit codes from the
+    /// same table (see [`SolveError::exit_code`]). Adding a variant means
+    /// adding a row here — the match is exhaustive on purpose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::NoScenarios => "no-scenarios",
+            SolveError::DuplicateScenario(_) => "duplicate-scenario",
+            SolveError::InvalidDerate { .. } => "invalid-derate",
+            SolveError::InvalidSlewLimit { .. } => "invalid-slew-limit",
+            SolveError::Unsupported { .. } => "unsupported",
+            SolveError::Cost(_) => "cost",
+            SolveError::Polarity(_) => "polarity",
+            SolveError::Verify { .. } => "verify",
+            SolveError::ScenarioParse { .. } => "scenario-parse",
+            SolveError::UnknownModel(_) => "unknown-model",
+            SolveError::Edit(_) => "edit",
+        }
+    }
+
+    /// The documented CLI exit code of this error — one distinct code per
+    /// variant, in the 10–20 range so they can never collide with the
+    /// general codes (0 = success, 2 = usage, 3 = I/O). The full mapping
+    /// is printed by `fastbuf --help`.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SolveError::NoScenarios => 10,
+            SolveError::DuplicateScenario(_) => 11,
+            SolveError::InvalidDerate { .. } => 12,
+            SolveError::InvalidSlewLimit { .. } => 13,
+            SolveError::Unsupported { .. } => 14,
+            SolveError::Cost(_) => 15,
+            SolveError::Polarity(_) => 16,
+            SolveError::Verify { .. } => 17,
+            SolveError::ScenarioParse { .. } => 18,
+            SolveError::UnknownModel(_) => 19,
+            SolveError::Edit(_) => 20,
+        }
+    }
+}
+
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -181,6 +226,53 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    /// Every variant must map to a distinct exit code and a distinct
+    /// kind — the wire codes and the CLI exit codes both key off this.
+    #[test]
+    fn kinds_and_exit_codes_are_distinct() {
+        let variants = [
+            SolveError::NoScenarios,
+            SolveError::DuplicateScenario("a".into()),
+            SolveError::InvalidDerate {
+                scenario: "a".into(),
+                derate: 0.0,
+            },
+            SolveError::InvalidSlewLimit {
+                scenario: "a".into(),
+                limit_ps: -1.0,
+            },
+            SolveError::Unsupported {
+                scenario: "a".into(),
+                reason: "r".into(),
+            },
+            SolveError::Cost(CostError::NonIntegerCost { buffer: "b".into() }),
+            SolveError::Polarity(PolarityError::Infeasible),
+            SolveError::Verify {
+                scenario: "a".into(),
+                error: VerifyError::NotTracked,
+            },
+            SolveError::ScenarioParse {
+                line: 1,
+                message: "m".into(),
+            },
+            SolveError::UnknownModel("m".into()),
+            SolveError::Edit(fastbuf_incremental::EcoError::Tree(
+                fastbuf_rctree::TreeError::NoSource,
+            )),
+        ];
+        let mut kinds: Vec<&str> = variants.iter().map(SolveError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len(), "kinds collide");
+
+        let mut codes: Vec<u8> = variants.iter().map(SolveError::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len(), "exit codes collide");
+        // Never collide with success (0), usage (2), or I/O (3).
+        assert!(codes.iter().all(|&c| c >= 10));
     }
 
     #[test]

@@ -138,6 +138,76 @@ impl NetRecord<'_> {
     }
 }
 
+/// The owned form of [`NetRecord`]: the same per-net record with no
+/// borrowed fields, so it can outlive the solve that produced it, cross a
+/// thread boundary, or be queued in a server response.
+///
+/// Serialization delegates to [`NetRecord::to_json`] through
+/// [`NetRecordOwned::as_record`], so the owned and borrowed forms are
+/// **byte-identical by construction** — `batch --json`, `solve --json`,
+/// and `fastbuf serve` all emit the exact same bytes for the same record
+/// (pinned by the cross-producer golden test below).
+#[derive(Clone, Debug)]
+pub struct NetRecordOwned {
+    /// Net label (file path, design id, or generated name).
+    pub name: String,
+    /// Position in the input (batch index, or 0 for single solves).
+    pub index: usize,
+    /// Scenario name for multi-corner runs (`None` omits the key).
+    pub scenario: Option<String>,
+    /// Sink count.
+    pub sinks: usize,
+    /// Candidate buffer positions.
+    pub sites: usize,
+    /// Slack before buffering.
+    pub slack_before: Seconds,
+    /// Slack after buffering.
+    pub slack_after: Seconds,
+    /// Worst output slew before buffering.
+    pub slew_before: Seconds,
+    /// Worst output slew after buffering.
+    pub max_slew: Seconds,
+    /// Whether the solve met its slew limit (or had none).
+    pub slew_ok: bool,
+    /// Number of buffers inserted.
+    pub buffers: usize,
+    /// Total cost of the inserted buffers.
+    pub cost: f64,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// Placement list to serialize (`None` omits the key).
+    pub placements: Option<Vec<Placement>>,
+}
+
+impl NetRecordOwned {
+    /// Borrows this record as a [`NetRecord`] — the single serializer both
+    /// forms go through.
+    pub fn as_record(&self) -> NetRecord<'_> {
+        NetRecord {
+            name: &self.name,
+            index: self.index,
+            scenario: self.scenario.as_deref(),
+            sinks: self.sinks,
+            sites: self.sites,
+            slack_before: self.slack_before,
+            slack_after: self.slack_after,
+            slew_before: self.slew_before,
+            max_slew: self.max_slew,
+            slew_ok: self.slew_ok,
+            buffers: self.buffers,
+            cost: self.cost,
+            elapsed: self.elapsed,
+            placements: self.placements.as_deref(),
+        }
+    }
+
+    /// Serializes this record as a single-line JSON object, byte-identical
+    /// to the borrowed [`NetRecord::to_json`].
+    pub fn to_json(&self) -> String {
+        self.as_record().to_json()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +275,74 @@ mod tests {
         assert!(json.contains("\"scenario\": \"slow\""));
         assert!(json.contains("\"placements\": []"));
         assert!(json.contains("\"buffers\": 2"));
+    }
+
+    /// Cross-producer golden: the borrowed record (batch / `solve --json`)
+    /// and the owned record (`fastbuf serve`) must emit the exact same
+    /// bytes — and those bytes are pinned here, so any schema drift breaks
+    /// this test, not a downstream consumer.
+    #[test]
+    fn owned_and_borrowed_records_are_byte_identical() {
+        use fastbuf_buflib::BufferTypeId;
+        use fastbuf_rctree::NodeId;
+
+        let placements = vec![
+            Placement {
+                node: NodeId::new(3),
+                buffer: BufferTypeId::new(1),
+            },
+            Placement {
+                node: NodeId::new(7),
+                buffer: BufferTypeId::new(0),
+            },
+        ];
+        let owned = NetRecordOwned {
+            name: "designs/top.net".to_owned(),
+            index: 4,
+            scenario: Some("slow".to_owned()),
+            sinks: 9,
+            sites: 21,
+            slack_before: Seconds::from_pico(-12.5),
+            slack_after: Seconds::from_pico(31.25),
+            slew_before: Seconds::from_pico(500.0),
+            max_slew: Seconds::from_pico(150.0),
+            slew_ok: true,
+            buffers: 2,
+            cost: 7.0,
+            elapsed: Duration::from_micros(123),
+            placements: Some(placements.clone()),
+        };
+        let borrowed = NetRecord {
+            name: "designs/top.net",
+            index: 4,
+            scenario: Some("slow"),
+            sinks: 9,
+            sites: 21,
+            slack_before: Seconds::from_pico(-12.5),
+            slack_after: Seconds::from_pico(31.25),
+            slew_before: Seconds::from_pico(500.0),
+            max_slew: Seconds::from_pico(150.0),
+            slew_ok: true,
+            buffers: 2,
+            cost: 7.0,
+            elapsed: Duration::from_micros(123),
+            placements: Some(&placements),
+        };
+        // Pinned bytes, ulp noise and all: picosecond fields go through
+        // `Seconds::from_pico(x).picos()` (an exact-value round trip is
+        // not guaranteed), and that conversion is part of the schema.
+        let golden = "{\"net\": \"designs/top.net\", \"scenario\": \"slow\", \
+                      \"index\": 4, \"sinks\": 9, \"sites\": 21, \
+                      \"slack_before_ps\": -12.5, \
+                      \"slack_after_ps\": 31.250000000000004, \
+                      \"slew_before_ps\": 500.00000000000006, \
+                      \"max_slew_ps\": 150, \
+                      \"slew_ok\": true, \"buffers\": 2, \"cost\": 7, \
+                      \"elapsed_us\": 123.00000000000001, \
+                      \"placements\": [{\"node\": 3, \"buffer\": 1}, \
+                      {\"node\": 7, \"buffer\": 0}]}";
+        assert_eq!(owned.to_json(), golden);
+        assert_eq!(borrowed.to_json(), golden);
+        assert_eq!(owned.as_record().to_json(), borrowed.to_json());
     }
 }

@@ -70,12 +70,13 @@ mod outcome;
 mod request;
 mod scenario;
 mod session;
+pub mod wire;
 
 pub use eco::EcoSolver;
 pub use error::SolveError;
 pub use outcome::{Outcome, ScenarioOutcome, ScenarioResult};
 pub use request::{Objective, SolveRequest};
-pub use scenario::{parse_scenarios, Scenario};
+pub use scenario::{parse_scenario_lines, parse_scenarios, Scenario};
 pub use session::{Session, SessionBuilder};
 
 #[cfg(test)]

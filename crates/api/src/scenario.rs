@@ -254,6 +254,36 @@ pub fn parse_scenarios(text: &str) -> Result<Vec<Scenario>, SolveError> {
     Ok(scenarios)
 }
 
+/// [`parse_scenarios`] plus default application: scenarios whose line
+/// omitted `algo=` get `default_algorithm`, and scenarios whose line
+/// omitted `model=` get `default_model`. This is the **one** scenario
+/// deserialization path — `fastbuf solve --scenarios` and the server's
+/// `"scenarios"` request field both resolve their command-level defaults
+/// through it, so a scenario line can never mean different things to
+/// different front ends.
+///
+/// # Errors
+///
+/// Exactly those of [`parse_scenarios`], with line numbers preserved.
+pub fn parse_scenario_lines(
+    text: &str,
+    default_algorithm: Option<Algorithm>,
+    default_model: Option<&Arc<dyn DelayModel>>,
+) -> Result<Vec<Scenario>, SolveError> {
+    let mut scenarios = parse_scenarios(text)?;
+    for scenario in &mut scenarios {
+        if scenario.algorithm.is_none() {
+            scenario.algorithm = default_algorithm;
+        }
+        if scenario.delay_model.is_none() {
+            if let Some(model) = default_model {
+                scenario.delay_model = Some(Arc::clone(model));
+            }
+        }
+    }
+    Ok(scenarios)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +346,33 @@ fast    model=scaled-elmore  algo=lillis
             "scaled-elmore"
         );
         assert_eq!(scenarios[2].algorithm, Some(Algorithm::Lillis));
+    }
+
+    #[test]
+    fn line_parser_applies_defaults_without_overriding() {
+        let model = model_by_name("scaled-elmore").unwrap();
+        let text = "typical\nslow model=elmore algo=lishi\n";
+        let scenarios = parse_scenario_lines(text, Some(Algorithm::Lillis), Some(&model)).unwrap();
+        // Defaults fill the gaps…
+        assert_eq!(scenarios[0].algorithm, Some(Algorithm::Lillis));
+        assert_eq!(
+            scenarios[0].delay_model.as_ref().unwrap().name(),
+            "scaled-elmore"
+        );
+        // …but never override an explicit per-line choice.
+        assert_eq!(scenarios[1].algorithm, Some(Algorithm::LiShi));
+        assert_eq!(scenarios[1].delay_model.as_ref().unwrap().name(), "elmore");
+
+        // No defaults = plain parse_scenarios.
+        let scenarios = parse_scenario_lines(text, None, None).unwrap();
+        assert!(scenarios[0].algorithm.is_none());
+        assert!(scenarios[0].delay_model.is_none());
+
+        // Line numbers survive the wrapper.
+        assert!(matches!(
+            parse_scenario_lines("ok\nbad nonsense", None, None),
+            Err(SolveError::ScenarioParse { line: 2, .. })
+        ));
     }
 
     #[test]

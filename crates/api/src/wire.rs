@@ -1,0 +1,1022 @@
+//! The versioned wire schema: owned request/response types that can cross
+//! a process or socket boundary.
+//!
+//! The request layer's borrowed types (`SolveRequest<'a>`,
+//! [`NetRecord<'a>`](crate::json::NetRecord)) are zero-copy by design and
+//! therefore cannot be queued, stored, or sent anywhere. This module is
+//! the owned, versioned counterpart — the **single schema** that
+//! `fastbuf solve --json`, `fastbuf batch --json`, and `fastbuf serve`
+//! all serialize through:
+//!
+//! * [`Json`] — a minimal JSON value with a strict parser (the workspace
+//!   builds offline, without serde; emission was always hand-rolled, this
+//!   adds the matching reader).
+//! * [`parse_frame`] / [`Op`] — the v1 request envelope
+//!   `{"v":1, "id":…, "op":"load|unload|solve|eco|ping|stats|shutdown", …}`.
+//! * [`ok_frame`] / [`error_frame`] — the response envelope
+//!   `{"v":1, "id":…, "ok":…, …}`.
+//! * [`scenario_record`] — builds the owned per-scenario
+//!   [`NetRecordOwned`] every producer emits, so per-net JSON is
+//!   byte-identical wherever it comes from.
+//!
+//! The full protocol (framing, op fields, error codes, compatibility
+//! rules) is documented in `docs/PROTOCOL.md`.
+
+use std::error::Error;
+use std::fmt;
+
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::{Algorithm, VerifyError};
+use fastbuf_rctree::{elmore, RoutingTree};
+
+use crate::error::SolveError;
+use crate::json::{json_f64, json_str, NetRecordOwned};
+use crate::outcome::ScenarioOutcome;
+
+/// The wire schema version this build speaks. Requests must carry
+/// `"v": 1`; any other version is rejected with an
+/// `unsupported-version` error rather than misinterpreted.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Nesting depth cap of the JSON reader — frames are flat envelopes, so
+/// anything deeper is hostile or corrupt input, rejected instead of
+/// recursed into.
+const MAX_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------
+// JSON values
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Object member order is preserved (members are a `Vec`, not a map);
+/// duplicate keys are rejected at parse time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON syntax error with the byte offset it was detected at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for JsonError {}
+
+impl Json {
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.i != p.bytes.len() {
+            return Err(p.err("trailing content after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value back to compact JSON (used to echo request
+    /// ids verbatim into responses).
+    pub fn to_json(&self) -> String {
+        match self {
+            Json::Null => "null".to_owned(),
+            Json::Bool(b) => if *b { "true" } else { "false" }.to_owned(),
+            Json::Num(n) => json_f64(*n),
+            Json::Str(s) => json_str(s),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::to_json).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Json::Obj(members) => {
+                let inner: Vec<String> = members
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", json_str(k), v.to_json()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.i,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.i) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let before = p.i;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.i += 1;
+            }
+            p.i > before
+        };
+        let int_start = self.i;
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.bytes[int_start] == b'0' && self.i > int_start + 1 {
+            return Err(self.err("leading zeros are not allowed"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(self.err("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.i]).expect("ASCII number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must be followed by an
+                                // escaped low surrogate.
+                                if self.peek() == Some(b'\\') {
+                                    self.i += 1;
+                                    self.expect(b'u')
+                                        .map_err(|_| self.err("expected low surrogate"))?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(ch);
+                            // hex4 leaves `i` one past the last hex digit;
+                            // skip the shared `self.i += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.i..]).expect("input was a valid &str");
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits starting at `self.i + 1` (the byte after `u`),
+    /// leaving `self.i` one past the last digit.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            code = code * 16 + digit;
+            self.i += 1;
+        }
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request envelope
+// ---------------------------------------------------------------------
+
+/// Errors of the envelope layer (everything before a design is touched).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame is not valid JSON.
+    Json(JsonError),
+    /// The frame's `"v"` is missing or not [`WIRE_VERSION`].
+    Version {
+        /// The version the frame carried (`None` = missing/non-numeric).
+        got: Option<u64>,
+    },
+    /// The frame's `"op"` is missing or unknown.
+    UnknownOp(String),
+    /// A field is missing, has the wrong type, or is out of range.
+    BadRequest(String),
+}
+
+impl WireError {
+    /// The stable machine-readable error code of this error (the
+    /// `error.code` field of an error response).
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Json(_) => "parse",
+            WireError::Version { .. } => "unsupported-version",
+            WireError::UnknownOp(_) => "unknown-op",
+            WireError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "{e}"),
+            WireError::Version { got: Some(v) } => {
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks v{WIRE_VERSION})"
+                )
+            }
+            WireError::Version { got: None } => {
+                write!(
+                    f,
+                    "missing numeric \"v\" (this build speaks v{WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownOp(op) => write!(
+                f,
+                "unknown op `{op}` (expected load, unload, solve, eco, ping, stats, or shutdown)"
+            ),
+            WireError::BadRequest(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for WireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WireError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Where a design's net or library text comes from in a `load` op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Inline file text shipped in the frame.
+    Text(String),
+    /// A path the server reads (trusted/local deployments only — see
+    /// `docs/PROTOCOL.md`).
+    Path(String),
+}
+
+/// The shared solve/eco parameters of a request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveParams {
+    /// The design id the op targets.
+    pub design: String,
+    /// Scenario lines in the `parse_scenarios` syntax (`None` = one
+    /// default scenario). Element `k` is reported as line `k + 1` in
+    /// parse errors.
+    pub scenarios: Option<Vec<String>>,
+    /// Default algorithm for scenarios without their own `algo=`.
+    pub algorithm: Option<Algorithm>,
+    /// Default delay-model name for scenarios without their own `model=`
+    /// (resolved by the consumer via `model_by_name`).
+    pub model: Option<String>,
+    /// Include per-scenario placement lists in the response records.
+    pub placements: bool,
+    /// Re-measure each scenario with the independent forward evaluator
+    /// before responding (default `true`).
+    pub verify: bool,
+    /// Per-request deadline in milliseconds from frame receipt (`None` =
+    /// the server's default).
+    pub deadline_ms: Option<u64>,
+}
+
+/// One parsed request op.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Op {
+    /// Liveness / drain probe.
+    Ping,
+    /// Registry statistics.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain in-flight work.
+    Shutdown,
+    /// Load (or replace) a design under an id.
+    Load {
+        /// The design id.
+        design: String,
+        /// The net.
+        net: Source,
+        /// The buffer library.
+        lib: Source,
+        /// Default delay-model name for this design's session.
+        model: Option<String>,
+    },
+    /// Drop a design.
+    Unload {
+        /// The design id.
+        design: String,
+    },
+    /// Solve the design under one or more scenarios.
+    Solve(SolveParams),
+    /// Apply ECO edits, then re-solve incrementally through the design's
+    /// warm per-scenario caches.
+    Eco {
+        /// The shared parameters.
+        params: SolveParams,
+        /// Edit lines in the `fastbuf_incremental::parse_edits` syntax.
+        edits: Vec<String>,
+    },
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, WireError> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(WireError::BadRequest(format!("\"{key}\" must be a string"))),
+        None => Err(WireError::BadRequest(format!("missing \"{key}\""))),
+    }
+}
+
+fn opt_str(obj: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(WireError::BadRequest(format!("\"{key}\" must be a string"))),
+    }
+}
+
+fn opt_bool(obj: &Json, key: &str, default: bool) -> Result<bool, WireError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(WireError::BadRequest(format!(
+            "\"{key}\" must be a boolean"
+        ))),
+    }
+}
+
+fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            WireError::BadRequest(format!("\"{key}\" must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_str_array(obj: &Json, key: &str) -> Result<Option<Vec<String>>, WireError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_owned).ok_or_else(|| {
+                    WireError::BadRequest(format!("\"{key}\" must be an array of strings"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(WireError::BadRequest(format!(
+            "\"{key}\" must be an array of strings"
+        ))),
+    }
+}
+
+fn source(obj: &Json, text_key: &str, path_key: &str) -> Result<Source, WireError> {
+    match (opt_str(obj, text_key)?, opt_str(obj, path_key)?) {
+        (Some(_), Some(_)) => Err(WireError::BadRequest(format!(
+            "give either \"{text_key}\" or \"{path_key}\", not both"
+        ))),
+        (Some(text), None) => Ok(Source::Text(text)),
+        (None, Some(path)) => Ok(Source::Path(path)),
+        (None, None) => Err(WireError::BadRequest(format!(
+            "missing \"{text_key}\" (inline text) or \"{path_key}\""
+        ))),
+    }
+}
+
+fn solve_params(obj: &Json) -> Result<SolveParams, WireError> {
+    let algorithm = match opt_str(obj, "algo")? {
+        None => None,
+        Some(name) => Some(
+            name.parse::<Algorithm>()
+                .map_err(|e| WireError::BadRequest(format!("\"algo\": {e}")))?,
+        ),
+    };
+    Ok(SolveParams {
+        design: req_str(obj, "design")?,
+        scenarios: opt_str_array(obj, "scenarios")?,
+        algorithm,
+        model: opt_str(obj, "model")?,
+        placements: opt_bool(obj, "placements", false)?,
+        verify: opt_bool(obj, "verify", true)?,
+        deadline_ms: opt_u64(obj, "deadline_ms")?,
+    })
+}
+
+/// Parses one request frame.
+///
+/// Returns the request id (echoed into the response even for malformed
+/// ops, whenever the frame parsed far enough to recover it) alongside the
+/// op or envelope error.
+pub fn parse_frame(frame: &str) -> (Option<Json>, Result<Op, WireError>) {
+    let root = match Json::parse(frame) {
+        Ok(v) => v,
+        Err(e) => return (None, Err(WireError::Json(e))),
+    };
+    let id = match root.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.clone()),
+    };
+    let op = parse_op(&root);
+    (id, op)
+}
+
+fn parse_op(root: &Json) -> Result<Op, WireError> {
+    if !matches!(root, Json::Obj(_)) {
+        return Err(WireError::BadRequest(
+            "a request frame must be a JSON object".into(),
+        ));
+    }
+    match root.get("v").and_then(Json::as_u64) {
+        Some(WIRE_VERSION) => {}
+        got => return Err(WireError::Version { got }),
+    }
+    let op = req_str(root, "op").map_err(|_| WireError::UnknownOp("<missing>".into()))?;
+    match op.as_str() {
+        "ping" => Ok(Op::Ping),
+        "stats" => Ok(Op::Stats),
+        "shutdown" => Ok(Op::Shutdown),
+        "load" => Ok(Op::Load {
+            design: req_str(root, "design")?,
+            net: source(root, "net", "net_path")?,
+            lib: source(root, "lib", "lib_path")?,
+            model: opt_str(root, "model")?,
+        }),
+        "unload" => Ok(Op::Unload {
+            design: req_str(root, "design")?,
+        }),
+        "solve" => Ok(Op::Solve(solve_params(root)?)),
+        "eco" => {
+            let edits = opt_str_array(root, "edits")?
+                .ok_or_else(|| WireError::BadRequest("missing \"edits\"".into()))?;
+            if edits.is_empty() {
+                return Err(WireError::BadRequest("\"edits\" must be non-empty".into()));
+            }
+            Ok(Op::Eco {
+                params: solve_params(root)?,
+                edits,
+            })
+        }
+        other => Err(WireError::UnknownOp(other.to_owned())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response envelope
+// ---------------------------------------------------------------------
+
+fn frame_prefix(id: Option<&Json>) -> String {
+    let mut s = format!("{{\"v\": {WIRE_VERSION}, ");
+    if let Some(id) = id {
+        s.push_str(&format!("\"id\": {}, ", id.to_json()));
+    }
+    s
+}
+
+/// A success response: `result` must already be a serialized JSON value.
+pub fn ok_frame(id: Option<&Json>, result: &str) -> String {
+    format!("{}\"ok\": true, \"result\": {result}}}", frame_prefix(id))
+}
+
+/// A typed error response with a stable machine-readable `code`.
+pub fn error_frame(id: Option<&Json>, code: &str, message: &str) -> String {
+    format!(
+        "{}\"ok\": false, \"error\": {{\"code\": {}, \"message\": {}}}}}",
+        frame_prefix(id),
+        json_str(code),
+        json_str(message)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Owned per-scenario records
+// ---------------------------------------------------------------------
+
+/// Builds the owned per-scenario record every JSON producer emits: the
+/// corner's view of the tree is re-derated, the unbuffered baseline and
+/// the solved net's worst slew are measured under **that corner's own
+/// delay model**, and the result is the exact `batch --json` per-net
+/// schema (same serializer, same bytes).
+///
+/// `named` controls whether the record carries a `"scenario"` key
+/// (multi-corner runs) — matching `fastbuf solve`'s rule that explicit
+/// scenario files always produce named records.
+///
+/// # Errors
+///
+/// [`SolveError::Unsupported`] when the scenario did not solve for max
+/// slack (frontier/polarity outcomes have no per-net record), and
+/// [`SolveError::Verify`] when the corner's tree rejects forward
+/// evaluation.
+pub fn scenario_record(
+    net_name: &str,
+    index: usize,
+    tree: &RoutingTree,
+    library: &BufferLibrary,
+    corner: &ScenarioOutcome,
+    named: bool,
+    include_placements: bool,
+) -> Result<NetRecordOwned, SolveError> {
+    let scenario = &corner.scenario;
+    let solution = corner.solution().ok_or_else(|| SolveError::Unsupported {
+        scenario: scenario.name.clone(),
+        reason: "wire records cover max-slack solves only".into(),
+    })?;
+    let named_err = |e| SolveError::Verify {
+        scenario: scenario.name.clone(),
+        error: VerifyError::Tree(e),
+    };
+    let corner_tree = scenario.apply_derate(tree);
+    let corner_tree = &*corner_tree;
+    let before =
+        elmore::evaluate_with(corner_tree, library, &[], &*corner.model).map_err(named_err)?;
+    let measured = elmore::evaluate_with(
+        corner_tree,
+        library,
+        &solution.placement_pairs(),
+        &*corner.model,
+    )
+    .map_err(named_err)?;
+    Ok(NetRecordOwned {
+        name: net_name.to_owned(),
+        index,
+        scenario: named.then(|| scenario.name.clone()),
+        sinks: tree.sink_count(),
+        sites: tree.buffer_site_count(),
+        slack_before: before.slack,
+        slack_after: solution.slack,
+        slew_before: before.max_slew,
+        max_slew: measured.max_slew,
+        slew_ok: solution.slew_ok,
+        buffers: solution.placements.len(),
+        cost: solution.total_cost(library),
+        elapsed: corner.elapsed,
+        placements: include_placements.then(|| solution.placements.clone()),
+    })
+}
+
+/// A `SolveError` as a wire error code: the stable kebab-case kind of the
+/// variant (see [`SolveError::kind`]).
+pub fn solve_error_frame(id: Option<&Json>, error: &SolveError) -> String {
+    error_frame(id, error.kind(), &error.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, Session};
+    use fastbuf_buflib::units::Microns;
+
+    #[test]
+    fn json_round_trips() {
+        let text = r#"{"v": 1, "id": "a-7", "n": -2.5e3, "flag": true,
+                       "nested": {"arr": [1, 2, 3], "z": null},
+                       "uni": "sn\u00f6 \ud83d\ude00 tab\t"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("a-7"));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(-2500.0));
+        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(nested.get("arr").and_then(Json::as_array).unwrap().len(), 3);
+        assert_eq!(nested.get("z"), Some(&Json::Null));
+        assert_eq!(v.get("uni").and_then(Json::as_str), Some("snö 😀 tab\t"));
+        // Serialize → reparse is the identity.
+        let again = Json::parse(&v.to_json()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for (text, what) in [
+            ("", "unexpected end"),
+            ("{", "unterminated object"),
+            ("[1,]", "expected after comma"),
+            ("{\"a\": 1,}", "expected key"),
+            ("nul", "bad literal"),
+            ("01", "trailing content"),
+            ("1 2", "trailing content"),
+            ("\"\\q\"", "invalid escape"),
+            ("\"\\ud800\"", "lone surrogate"),
+            ("{\"a\": 1, \"a\": 2}", "duplicate key"),
+            ("-", "expected digits"),
+            ("1.e3", "digits after ."),
+        ] {
+            assert!(Json::parse(text).is_err(), "{what}: `{text}` parsed");
+        }
+        // Depth bomb rejected, not recursed into.
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn envelope_parses_every_op() {
+        let (id, op) = parse_frame(r#"{"v": 1, "id": 7, "op": "ping"}"#);
+        assert_eq!(id, Some(Json::Num(7.0)));
+        assert_eq!(op.unwrap(), Op::Ping);
+
+        let (_, op) = parse_frame(
+            r#"{"v": 1, "op": "load", "design": "d1", "net": "...", "lib_path": "/x.lib"}"#,
+        );
+        assert_eq!(
+            op.unwrap(),
+            Op::Load {
+                design: "d1".into(),
+                net: Source::Text("...".into()),
+                lib: Source::Path("/x.lib".into()),
+                model: None,
+            }
+        );
+
+        let (_, op) = parse_frame(
+            r#"{"v": 1, "op": "solve", "design": "d1",
+                "scenarios": ["typical", "slow derate=0.9"],
+                "algo": "lillis", "placements": true, "deadline_ms": 250}"#,
+        );
+        match op.unwrap() {
+            Op::Solve(p) => {
+                assert_eq!(p.design, "d1");
+                assert_eq!(p.scenarios.as_deref().unwrap().len(), 2);
+                assert_eq!(p.algorithm, Some(Algorithm::Lillis));
+                assert!(p.placements && p.verify);
+                assert_eq!(p.deadline_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let (_, op) = parse_frame(
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n5 820"], "verify": false}"#,
+        );
+        match op.unwrap() {
+            Op::Eco { params, edits } => {
+                assert_eq!(edits, vec!["rat n5 820".to_owned()]);
+                assert!(!params.verify);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "unload", "design": "d2"}"#);
+        assert_eq!(
+            op.unwrap(),
+            Op::Unload {
+                design: "d2".into()
+            }
+        );
+        assert_eq!(
+            parse_frame(r#"{"v": 1, "op": "stats"}"#).1.unwrap(),
+            Op::Stats
+        );
+        assert_eq!(
+            parse_frame(r#"{"v": 1, "op": "shutdown"}"#).1.unwrap(),
+            Op::Shutdown
+        );
+    }
+
+    #[test]
+    fn envelope_errors_are_typed_and_keep_the_id() {
+        let (id, op) = parse_frame("not json at all");
+        assert!(id.is_none());
+        assert_eq!(op.unwrap_err().code(), "parse");
+
+        let (id, op) = parse_frame(r#"{"v": 2, "id": "x", "op": "ping"}"#);
+        assert_eq!(
+            id.and_then(|v| v.as_str().map(str::to_owned)),
+            Some("x".into())
+        );
+        let err = op.unwrap_err();
+        assert_eq!(err.code(), "unsupported-version");
+        assert!(err.to_string().contains("v1"), "{err}");
+
+        let (_, op) = parse_frame(r#"{"id": 1, "op": "ping"}"#);
+        assert!(matches!(op.unwrap_err(), WireError::Version { got: None }));
+
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "frobnicate"}"#);
+        assert_eq!(op.unwrap_err().code(), "unknown-op");
+
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "solve"}"#);
+        let err = op.unwrap_err();
+        assert_eq!(err.code(), "bad-request");
+        assert!(err.to_string().contains("design"), "{err}");
+
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "eco", "design": "d", "edits": []}"#);
+        assert_eq!(op.unwrap_err().code(), "bad-request");
+
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "solve", "design": "d", "algo": "quantum"}"#);
+        assert_eq!(op.unwrap_err().code(), "bad-request");
+
+        let (_, op) = parse_frame("[1, 2]");
+        assert_eq!(op.unwrap_err().code(), "bad-request");
+    }
+
+    #[test]
+    fn response_frames_are_valid_json() {
+        let id = Json::Str("req-1".into());
+        let ok = ok_frame(Some(&id), "{\"pong\": true}");
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(WIRE_VERSION));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("req-1"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(v.get("result").unwrap().get("pong").is_some());
+
+        let err = error_frame(None, "deadline", "took 12 ms, deadline was 5 ms");
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("deadline"));
+        assert!(e
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("12 ms"));
+    }
+
+    #[test]
+    fn scenario_record_matches_a_direct_solve() {
+        let session = Session::new(fastbuf_buflib::BufferLibrary::paper_synthetic(8).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(9_000.0), 8);
+        let outcome = session
+            .request(&tree)
+            .scenario(Scenario::named("typical"))
+            .scenario(Scenario::named("slow").rat_derate(0.9))
+            .solve()
+            .unwrap();
+        for (k, corner) in outcome.scenarios.iter().enumerate() {
+            let record =
+                scenario_record("net-a", 0, &tree, session.library(), corner, true, true).unwrap();
+            let solution = corner.solution().unwrap();
+            assert_eq!(
+                record.slack_after.value().to_bits(),
+                solution.slack.value().to_bits()
+            );
+            assert_eq!(
+                record.scenario.as_deref(),
+                Some(corner.scenario.name.as_str())
+            );
+            assert_eq!(record.buffers, solution.placements.len());
+            assert_eq!(
+                record.placements.as_deref(),
+                Some(solution.placements.as_slice())
+            );
+            assert_eq!(record.sinks, tree.sink_count());
+            // The derated corner's baseline differs from the underated one.
+            if k == 1 {
+                assert_ne!(
+                    record.slack_before.value().to_bits(),
+                    outcome.scenarios[0]
+                        .solution()
+                        .unwrap()
+                        .slack
+                        .value()
+                        .to_bits()
+                );
+            }
+            // The record serializes through the shared schema.
+            let json = record.to_json();
+            assert!(json.contains("\"scenario\""));
+            assert!(json.contains("\"slack_after_ps\""));
+        }
+    }
+}

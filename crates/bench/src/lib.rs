@@ -15,6 +15,7 @@
 //! | `batch_throughput` | nets/sec of the `fastbuf-batch` worker pool at 1/2/4/8 workers (writes `BENCH_batch.json`) |
 //! | `slew_sweep` | slack / buffer-count / feasibility trade-off vs the per-net slew limit (writes `BENCH_slew.json`) |
 //! | `eco_speedup` | incremental vs from-scratch solves/sec under edit scripts at 1/10/50% locality (writes `BENCH_eco.json`) |
+//! | `server_throughput` | requests/sec of the resident `fastbuf serve` daemon at 1/2/4/8 concurrent clients, warm session vs cold per-request process spawn (writes `BENCH_server.json`) |
 //!
 //! Every harness accepts `--scale <f>` (shrink sink counts for quick runs;
 //! default 0.25) or `--full` (exact paper sizes), plus `--repeats <k>`.

@@ -5,8 +5,7 @@ use std::path::{Path, PathBuf};
 
 use std::sync::Arc;
 
-use fastbuf_api::json::NetRecord;
-use fastbuf_api::{parse_scenarios, Scenario, Session};
+use fastbuf_api::{parse_scenario_lines, wire, Scenario, Session, SolveError};
 use fastbuf_batch::BatchSolver;
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
@@ -46,58 +45,133 @@ const USAGE: &str = "usage:
                      every edit and fails on any non-bit-identical result.
                      --random N generates a reproducible N-edit script at
                      --locality (default 0.1); --emit-edits saves it.)
-  fastbuf frontier  --net FILE --lib FILE [--max-cost W]";
+  fastbuf frontier  --net FILE --lib FILE [--max-cost W]
+  fastbuf serve     (--stdio | --port N) [--host H] [--workers N]
+                    [--max-designs N] [--max-inflight N] [--deadline-ms MS]
+                    [--model M] [--preload ID=NET,LIB]
+                    (resident solve server speaking the newline-delimited
+                     JSON v1 envelope of docs/PROTOCOL.md over TCP or
+                     stdin/stdout; keeps warm per-design sessions and ECO
+                     caches, LRU-evicted beyond --max-designs.)
+
+exit codes:
+  0 success | 2 usage, validation, or failed --check | 3 I/O
+  solver errors map one variant to one code:
+  10 no-scenarios | 11 duplicate-scenario | 12 invalid-derate
+  13 invalid-slew-limit | 14 unsupported | 15 cost | 16 polarity
+  17 verify | 18 scenario-parse | 19 unknown-model | 20 edit";
+
+/// A CLI failure: what to print on stderr and the process exit code.
+///
+/// Usage and validation errors exit 2, I/O failures exit 3, and typed
+/// solver errors carry the distinct per-variant codes of
+/// [`SolveError::exit_code`] (10–20) — the same mapping `fastbuf --help`
+/// documents and the server reports as kebab-case `error.code` strings.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code (never 0).
+    pub code: u8,
+    /// Message for stderr (printed as `error: {message}`).
+    pub message: String,
+}
+
+impl CliError {
+    /// Whether the message mentions `needle` (assertion convenience).
+    #[cfg(test)]
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 2, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            code: 2,
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl From<SolveError> for CliError {
+    fn from(e: SolveError) -> Self {
+        CliError {
+            code: e.exit_code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// An I/O failure: exit code 3.
+fn io_error(message: String) -> CliError {
+    CliError { code: 3, message }
+}
 
 /// Dispatches `argv` to a subcommand.
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("gen") => match argv.get(1).map(String::as_str) {
             Some("net") => gen_net(&argv[2..]),
             Some("lib") => gen_lib(&argv[2..]),
             Some("suite") => gen_suite(&argv[2..]),
-            _ => Err(format!("`gen` needs `net`, `lib`, or `suite`\n{USAGE}")),
+            _ => Err(format!("`gen` needs `net`, `lib`, or `suite`\n{USAGE}").into()),
         },
         Some("info") => info(&argv[1..]),
         Some("solve") => solve(&argv[1..]),
         Some("batch") => batch(&argv[1..]),
         Some("eco") => eco(&argv[1..]),
         Some("frontier") => frontier(&argv[1..]),
+        Some("serve") => serve(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     }
 }
 
-fn emit(flags: &Flags, content: &str) -> Result<(), String> {
+fn emit(flags: &Flags, content: &str) -> Result<(), CliError> {
     match flags.value("o") {
         None => {
             print!("{content}");
             Ok(())
         }
-        Some(path) => fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}")),
+        Some(path) => {
+            fs::write(path, content).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))
+        }
     }
 }
 
-fn load_net(flags: &Flags) -> Result<RoutingTree, String> {
+fn load_net(flags: &Flags) -> Result<RoutingTree, CliError> {
     let path = flags.required("net")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    netio::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let text =
+        fs::read_to_string(path).map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
+    netio::parse(&text).map_err(|e| format!("{path}: {e}").into())
 }
 
 /// Parses `--model` into a delay model (default Elmore).
-fn load_model(flags: &Flags) -> Result<Arc<dyn DelayModel>, String> {
+fn load_model(flags: &Flags) -> Result<Arc<dyn DelayModel>, CliError> {
     match flags.value("model") {
         None => Ok(fastbuf_rctree::model_by_name("elmore").expect("elmore always exists")),
         Some(name) => fastbuf_rctree::model_by_name(name).ok_or_else(|| {
-            format!("unknown delay model `{name}` (expected elmore or scaled-elmore)")
+            format!("unknown delay model `{name}` (expected elmore or scaled-elmore)").into()
         }),
     }
 }
 
 /// Parses `--slew-limit` (picoseconds) into an optional limit.
-fn load_slew_limit(flags: &Flags) -> Result<Option<Seconds>, String> {
+fn load_slew_limit(flags: &Flags) -> Result<Option<Seconds>, CliError> {
     match flags.value("slew-limit") {
         None => Ok(None),
         Some(v) => {
@@ -112,13 +186,14 @@ fn load_slew_limit(flags: &Flags) -> Result<Option<Seconds>, String> {
     }
 }
 
-fn load_lib(flags: &Flags) -> Result<BufferLibrary, String> {
+fn load_lib(flags: &Flags) -> Result<BufferLibrary, CliError> {
     let path = flags.required("lib")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    BufferLibrary::from_text(&text).map_err(|e| format!("{path}: {e}"))
+    let text =
+        fs::read_to_string(path).map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
+    BufferLibrary::from_text(&text).map_err(|e| format!("{path}: {e}").into())
 }
 
-fn gen_net(argv: &[String]) -> Result<(), String> {
+fn gen_net(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         argv,
         &[
@@ -164,12 +239,12 @@ fn gen_net(argv: &[String]) -> Result<(), String> {
             Microns::new(flags.parsed_or("pitch", 400.0f64)?),
             Microns::new(40.0),
         ),
-        other => return Err(format!("unknown net kind `{other}`")),
+        other => return Err(format!("unknown net kind `{other}`").into()),
     };
     emit(&flags, &netio::write(&tree))
 }
 
-fn gen_lib(argv: &[String]) -> Result<(), String> {
+fn gen_lib(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(argv, &["size", "jitter", "o"], &[])?;
     let size = flags.parsed_or("size", 16usize)?;
     let lib = match flags.value("jitter") {
@@ -183,7 +258,7 @@ fn gen_lib(argv: &[String]) -> Result<(), String> {
     emit(&flags, &lib.to_text())
 }
 
-fn gen_suite(argv: &[String]) -> Result<(), String> {
+fn gen_suite(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         argv,
         &["out-dir", "nets", "max-sinks", "seed", "pitch"],
@@ -203,12 +278,13 @@ fn gen_suite(argv: &[String]) -> Result<(), String> {
     if spec.max_sinks < 8 {
         return Err("--max-sinks must be at least 8".into());
     }
-    fs::create_dir_all(&dir).map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    fs::create_dir_all(&dir)
+        .map_err(|e| io_error(format!("cannot create `{}`: {e}", dir.display())))?;
     for i in 0..spec.nets {
         let tree = spec.build_net(i);
         let path = dir.join(format!("net{i:05}.net"));
         fs::write(&path, netio::write(&tree))
-            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            .map_err(|e| io_error(format!("cannot write `{}`: {e}", path.display())))?;
     }
     println!(
         "wrote {} nets (seed {}, max {} sinks) to {}",
@@ -223,12 +299,12 @@ fn gen_suite(argv: &[String]) -> Result<(), String> {
 /// Loads the nets of a `batch` run: every `*.net` in `--dir` (sorted by
 /// file name), or the paths listed in `--manifest` (one per line, `#`
 /// comments allowed, relative to the manifest's directory).
-fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), String> {
+fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), CliError> {
     let paths: Vec<PathBuf> = match (flags.value("dir"), flags.value("manifest")) {
         (Some(_), Some(_)) => return Err("give either --dir or --manifest, not both".into()),
         (Some(dir), None) => {
             let mut v: Vec<PathBuf> = fs::read_dir(dir)
-                .map_err(|e| format!("cannot read `{dir}`: {e}"))?
+                .map_err(|e| io_error(format!("cannot read `{dir}`: {e}")))?
                 .filter_map(|entry| entry.ok().map(|e| e.path()))
                 .filter(|p| p.extension().is_some_and(|ext| ext == "net"))
                 .collect();
@@ -237,7 +313,7 @@ fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), Str
         }
         (None, Some(manifest)) => {
             let text = fs::read_to_string(manifest)
-                .map_err(|e| format!("cannot read `{manifest}`: {e}"))?;
+                .map_err(|e| io_error(format!("cannot read `{manifest}`: {e}")))?;
             let base = Path::new(manifest).parent().unwrap_or(Path::new("."));
             text.lines()
                 .map(str::trim)
@@ -245,7 +321,7 @@ fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), Str
                 .map(|l| base.join(l))
                 .collect()
         }
-        (None, None) => return Err(format!("`batch` needs --dir or --manifest\n{USAGE}")),
+        (None, None) => return Err(format!("`batch` needs --dir or --manifest\n{USAGE}").into()),
     };
     if paths.is_empty() {
         return Err("no .net files found".into());
@@ -254,14 +330,14 @@ fn load_batch_nets(flags: &Flags) -> Result<(Vec<String>, Vec<RoutingTree>), Str
     let mut nets = Vec::with_capacity(paths.len());
     for path in paths {
         let text = fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+            .map_err(|e| io_error(format!("cannot read `{}`: {e}", path.display())))?;
         nets.push(netio::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?);
         names.push(path.display().to_string());
     }
     Ok((names, nets))
 }
 
-fn batch(argv: &[String]) -> Result<(), String> {
+fn batch(argv: &[String]) -> Result<(), CliError> {
     let mut value_flags = vec![
         "dir",
         "manifest",
@@ -329,14 +405,16 @@ fn batch(argv: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "{}: batch predicted {} but forward evaluation measures {}",
                     names[o.index], o.slack, measured.slack
-                ));
+                )
+                .into());
             }
             if let Some(limit) = slew_limit {
                 if o.slew_ok && o.max_slew.value() > limit.value() * (1.0 + 1e-9) {
                     return Err(format!(
                         "{}: reported slew-feasible but measures {} over the {} limit",
                         names[o.index], o.max_slew, limit
-                    ));
+                    )
+                    .into());
                 }
             }
         }
@@ -359,7 +437,8 @@ fn batch(argv: &[String]) -> Result<(), String> {
                     "check failed: net {} (`{}`) diverges from its sequential \
                      solve: batch slack {} vs sequential {}",
                     o.index, names[o.index], o.slack, solo.slack
-                ));
+                )
+                .into());
             }
         }
         println!(
@@ -389,14 +468,14 @@ fn batch(argv: &[String]) -> Result<(), String> {
         if path == "-" {
             print!("{json}");
         } else {
-            fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
             println!("json report written to {path}");
         }
     }
     Ok(())
 }
 
-fn info(argv: &[String]) -> Result<(), String> {
+fn info(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(argv, &["net"], &[])?;
     let tree = load_net(&flags)?;
     println!("{}", tree.stats());
@@ -409,7 +488,7 @@ fn info(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn solve(argv: &[String]) -> Result<(), String> {
+fn solve(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(
         argv,
         &[
@@ -453,16 +532,16 @@ fn solve(argv: &[String]) -> Result<(), String> {
                         .into(),
                 );
             }
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            let mut scenarios = parse_scenarios(&text).map_err(|e| format!("{path}: {e}"))?;
-            // --algo is the default for lines without their own `algo=`.
-            for scenario in &mut scenarios {
-                if scenario.algorithm.is_none() {
-                    scenario.algorithm = Some(algo);
-                }
-            }
-            scenarios
+            let text = fs::read_to_string(path)
+                .map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
+            // The shared corner-file path (`api::parse_scenario_lines`):
+            // the server's `scenarios` frames go through the same parser,
+            // with --algo as the default for lines without their own
+            // `algo=`.
+            parse_scenario_lines(&text, Some(algo), None).map_err(|e| CliError {
+                code: e.exit_code(),
+                message: format!("{path}: {e}"),
+            })?
         }
     };
     // Corner files get named, table-style output and `"scenario"` keys in
@@ -473,15 +552,11 @@ fn solve(argv: &[String]) -> Result<(), String> {
     let named = flags.value("scenarios").is_some();
 
     let unbuffered = elmore::evaluate_with(&tree, lib, &[], &*model).map_err(|e| e.to_string())?;
-    let outcome = session
-        .request(&tree)
-        .scenarios(scenarios)
-        .solve()
-        .map_err(|e| e.to_string())?;
+    let outcome = session.request(&tree).scenarios(scenarios).solve()?;
 
     if !flags.switch("no-verify") {
         // Each corner is re-measured under its own model and derate.
-        outcome.verify(&tree, lib).map_err(|e| e.to_string())?;
+        outcome.verify(&tree, lib)?;
     }
 
     println!("unbuffered slack: {}", unbuffered.slack);
@@ -492,27 +567,26 @@ fn solve(argv: &[String]) -> Result<(), String> {
             .solution()
             .expect("solve command always asks for max slack");
         let scenario = &corner.scenario;
-        // This corner's view of the tree: slews are RAT-independent, but
-        // the *slack* baseline must see the same derate the solve saw.
-        let corner_tree = scenario.apply_derate(&tree);
-        let corner_tree = &*corner_tree;
-        // Ground-truth worst slew of the solved net under this corner's
-        // model — same definition as `batch`. Only computed when something
-        // consumes it (a slew limit to check, or a JSON record).
-        let measured_slew = if scenario.slew_limit.is_some() || want_json {
-            Some(
-                elmore::evaluate_with(
-                    corner_tree,
-                    lib,
-                    &solution.placement_pairs(),
-                    &*corner.model,
-                )
-                .map_err(|e| e.to_string())?
-                .max_slew,
-            )
+        // The corner's record in the shared wire schema (`api::wire`) —
+        // the exact serializer the server and `batch --json` go through.
+        // It re-measures this corner under its own model and derate
+        // (ground-truth worst slew, same definition as `batch`), so it is
+        // only built when something consumes it: a slew limit to check,
+        // or a JSON report to write.
+        let record = if scenario.slew_limit.is_some() || want_json {
+            Some(wire::scenario_record(
+                &net_path,
+                0,
+                &tree,
+                lib,
+                corner,
+                named,
+                flags.switch("placements"),
+            )?)
         } else {
             None
         };
+        let measured_slew = record.as_ref().map(|r| r.max_slew);
         // The hard cross-check runs for *every* corner with a limit: a
         // corner reported feasible must measure within its limit.
         if let (Some(limit), Some(measured)) = (scenario.slew_limit, measured_slew) {
@@ -520,7 +594,8 @@ fn solve(argv: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "scenario `{}`: slew check failed: measured {} over the {} limit",
                     scenario.name, measured, limit
-                ));
+                )
+                .into());
             }
         }
         if named {
@@ -576,37 +651,11 @@ fn solve(argv: &[String]) -> Result<(), String> {
             println!("stats: {}", solution.stats);
         }
         if want_json {
-            // Per-corner record in the exact per-net schema of
-            // `batch --json`. The unbuffered baseline is re-measured under
-            // *this corner's* model and derate, so `slack_after −
-            // slack_before` is the buffering improvement in every corner,
-            // never a model/derate artifact. Flag-built scenarios (no
-            // --scenarios file) always share the session model and derate
-            // 1.0, so the already-computed baseline is reused there.
-            let corner_before = if named {
-                elmore::evaluate_with(corner_tree, lib, &[], &*corner.model)
-                    .map_err(|e| e.to_string())?
-            } else {
-                unbuffered.clone()
-            };
-            let record = NetRecord {
-                name: &net_path,
-                index: 0,
-                scenario: named.then_some(scenario.name.as_str()),
-                sinks: tree.sink_count(),
-                sites: tree.buffer_site_count(),
-                slack_before: corner_before.slack,
-                slack_after: solution.slack,
-                slew_before: corner_before.max_slew,
-                max_slew: measured_slew.expect("computed whenever want_json"),
-                slew_ok: solution.slew_ok,
-                buffers: solution.placements.len(),
-                cost: solution.total_cost(lib),
-                elapsed: corner.elapsed,
-                placements: flags
-                    .switch("placements")
-                    .then_some(solution.placements.as_slice()),
-            };
+            // `record.slack_before` was re-measured under *this corner's*
+            // model and derate, so `slack_after − slack_before` is the
+            // buffering improvement in every corner, never a model/derate
+            // artifact.
+            let record = record.as_ref().expect("built whenever want_json");
             records.push_str("    ");
             records.push_str(&record.to_json());
             if k + 1 < outcome.scenarios.len() {
@@ -629,14 +678,14 @@ fn solve(argv: &[String]) -> Result<(), String> {
         if path == "-" {
             print!("{json}");
         } else {
-            fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
             println!("json report written to {path}");
         }
     }
     Ok(())
 }
 
-fn eco(argv: &[String]) -> Result<(), String> {
+fn eco(argv: &[String]) -> Result<(), CliError> {
     use fastbuf_incremental::{parse_edits, write_edits, EditScriptSpec, IncrementalSolver};
 
     let flags = Flags::parse(
@@ -665,8 +714,8 @@ fn eco(argv: &[String]) -> Result<(), String> {
     let edits = match (flags.value("edits"), flags.value("random")) {
         (Some(_), Some(_)) => return Err("give either --edits or --random, not both".into()),
         (Some(path), None) => {
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text = fs::read_to_string(path)
+                .map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
             parse_edits(&text).map_err(|e| format!("{path}: {e}"))?
         }
         (None, Some(n)) => {
@@ -686,10 +735,11 @@ fn eco(argv: &[String]) -> Result<(), String> {
             }
             .generate(&tree)
         }
-        (None, None) => return Err(format!("`eco` needs --edits or --random\n{USAGE}")),
+        (None, None) => return Err(format!("`eco` needs --edits or --random\n{USAGE}").into()),
     };
     if let Some(path) = flags.value("emit-edits") {
-        fs::write(path, write_edits(&edits)).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        fs::write(path, write_edits(&edits))
+            .map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
     }
 
     let mut options = fastbuf_core::SolverOptions::default();
@@ -714,9 +764,13 @@ fn eco(argv: &[String]) -> Result<(), String> {
     let mut scratch_time = std::time::Duration::ZERO;
     let want_json = flags.value("json").is_some();
     for (k, edit) in edits.iter().enumerate() {
-        solver
-            .apply(edit)
-            .map_err(|e| format!("edit {} (`{edit}`): {e}", k + 1))?;
+        solver.apply(edit).map_err(|e| {
+            let message = format!("edit {} (`{edit}`): {e}", k + 1);
+            CliError {
+                code: SolveError::Edit(e).exit_code(),
+                message,
+            }
+        })?;
         let t0 = std::time::Instant::now();
         let sol = solver.solve();
         incremental_time += t0.elapsed();
@@ -736,7 +790,8 @@ fn eco(argv: &[String]) -> Result<(), String> {
                     k + 1,
                     sol.slack,
                     scratch.slack
-                ));
+                )
+                .into());
             }
         }
         if flags.switch("per-edit") {
@@ -817,14 +872,14 @@ fn eco(argv: &[String]) -> Result<(), String> {
         if path == "-" {
             print!("{json}");
         } else {
-            fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
             println!("json report written to {path}");
         }
     }
     Ok(())
 }
 
-fn frontier(argv: &[String]) -> Result<(), String> {
+fn frontier(argv: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(argv, &["net", "lib", "max-cost"], &[])?;
     let tree = load_net(&flags)?;
     let lib = load_lib(&flags)?;
@@ -832,7 +887,7 @@ fn frontier(argv: &[String]) -> Result<(), String> {
     let frontier = CostSolver::new(&tree, &lib)
         .max_cost(max_cost)
         .solve()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::from(SolveError::Cost(e)))?;
     println!("{:>8} {:>9} {:>16}", "cost", "buffers", "slack");
     for p in &frontier.points {
         println!(
@@ -850,6 +905,90 @@ fn frontier(argv: &[String]) -> Result<(), String> {
         best.cost
     );
     Ok(())
+}
+
+fn serve(argv: &[String]) -> Result<(), CliError> {
+    use fastbuf_server::{Server, ServerConfig};
+
+    let flags = Flags::parse(
+        argv,
+        &[
+            "port",
+            "host",
+            "workers",
+            "max-designs",
+            "max-inflight",
+            "deadline-ms",
+            "preload",
+            "model",
+        ],
+        &["stdio"],
+    )?;
+
+    let mut config = ServerConfig::default();
+    if let Some(w) = flags.value("workers") {
+        let w: usize = w.parse().map_err(|_| "bad --workers".to_string())?;
+        if w == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+        config.workers = w;
+    }
+    config.max_designs = flags.parsed_or("max-designs", config.max_designs)?;
+    if config.max_designs == 0 {
+        return Err("--max-designs must be at least 1".into());
+    }
+    config.max_inflight = flags.parsed_or("max-inflight", config.max_inflight)?;
+    if config.max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    if let Some(ms) = flags.value("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+        config.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+
+    let server = Server::new(config);
+    if let Some(spec) = flags.value("preload") {
+        // `--preload ID=NET,LIB`: make a design resident before the first
+        // client connects (cold-load latency paid once, at startup).
+        let (id, files) = spec.split_once('=').ok_or("--preload expects ID=NET,LIB")?;
+        let (net_path, lib_path) = files
+            .split_once(',')
+            .ok_or("--preload expects ID=NET,LIB")?;
+        let text = fs::read_to_string(net_path)
+            .map_err(|e| io_error(format!("cannot read `{net_path}`: {e}")))?;
+        let tree = netio::parse(&text).map_err(|e| format!("{net_path}: {e}"))?;
+        let text = fs::read_to_string(lib_path)
+            .map_err(|e| io_error(format!("cannot read `{lib_path}`: {e}")))?;
+        let lib = BufferLibrary::from_text(&text).map_err(|e| format!("{lib_path}: {e}"))?;
+        let model = load_model(&flags)?;
+        let session = Session::builder(lib).delay_model(model).build();
+        server.registry().load(id, session, tree);
+        eprintln!("fastbuf serve: preloaded design `{id}`");
+    }
+
+    // Status lines go to stderr: in stdio mode stdout *is* the protocol
+    // stream, and keeping TCP mode symmetric costs nothing.
+    match (flags.switch("stdio"), flags.value("port")) {
+        (true, Some(_)) => Err("give either --stdio or --port, not both".into()),
+        (true, None) => {
+            eprintln!("fastbuf serve: speaking v1 frames on stdin/stdout");
+            server.serve_stdio();
+            Ok(())
+        }
+        (false, Some(p)) => {
+            let port: u16 = p.parse().map_err(|_| "bad --port".to_string())?;
+            let host = flags.value("host").unwrap_or("127.0.0.1");
+            let listener = std::net::TcpListener::bind((host, port))
+                .map_err(|e| io_error(format!("cannot bind {host}:{port}: {e}")))?;
+            if let Ok(addr) = listener.local_addr() {
+                eprintln!("fastbuf serve: listening on {addr}");
+            }
+            server
+                .serve_tcp(listener)
+                .map_err(|e| io_error(format!("serve: {e}")))
+        }
+        (false, None) => Err(format!("`serve` needs --stdio or --port\n{USAGE}").into()),
+    }
 }
 
 #[cfg(test)]
@@ -1365,6 +1504,7 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("conflicts"), "{err}");
+        assert_eq!(err.code, 2, "flag conflicts are usage errors");
         fs::write(&corners, "bad line=").unwrap();
         let err = run_strs(&[
             "solve",
@@ -1377,8 +1517,48 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+        // The distinct per-variant exit code of `SolveError::ScenarioParse`
+        // (documented in --help).
+        assert_eq!(err.code, 18, "scenario-parse exit code");
 
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: every error family keeps its documented exit code —
+    /// usage 2, I/O 3, typed solver errors their per-variant 10–20.
+    #[test]
+    fn exit_codes_follow_the_documented_mapping() {
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        // Usage: unknown command.
+        assert_eq!(run_strs(&["bogus"]).unwrap_err().code, 2);
+        // I/O: unreadable net file.
+        let err = run_strs(&["info", "--net", "/nonexistent/x.net"]).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        assert_eq!(err.code, 3, "I/O errors exit 3");
+        // The mapping itself is pinned distinct in `fastbuf-api`'s
+        // `kinds_and_exit_codes_are_distinct`; here we pin that `--help`
+        // documents every code the binary can exit with.
+        for code in ["| 2 usage", "| 3 I/O", "10 no-scenarios", "20 edit"] {
+            assert!(USAGE.contains(code), "--help must document `{code}`");
+        }
+    }
+
+    /// Satellite: `fastbuf serve` flag validation (the server's behavior
+    /// itself is covered by `fastbuf-server`'s tests).
+    #[test]
+    fn serve_validates_flags_before_binding() {
+        let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let err = run_strs(&["serve"]).unwrap_err();
+        assert!(err.contains("--stdio or --port"), "{err}");
+        let err = run_strs(&["serve", "--stdio", "--port", "0"]).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = run_strs(&["serve", "--stdio", "--workers", "0"]).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = run_strs(&["serve", "--stdio", "--preload", "busted"]).unwrap_err();
+        assert!(err.contains("ID=NET,LIB"), "{err}");
+        let err =
+            run_strs(&["serve", "--stdio", "--preload", "d=/nonexistent.net,/x.lib"]).unwrap_err();
+        assert_eq!(err.code, 3, "preload I/O failures exit 3: {err}");
     }
 
     /// Satellite: `fastbuf eco` end to end — random scripts, edit files,

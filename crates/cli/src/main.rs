@@ -14,6 +14,9 @@
 //!                   [--slew-limit PS] [--model M] [--json FILE] [--placements]
 //!                   [--per-net] [--check] [--no-verify]
 //! fastbuf frontier  --net FILE --lib FILE [--max-cost W]
+//! fastbuf serve     (--stdio | --port N) [--host H] [--workers N] [--max-designs N]
+//!                   [--max-inflight N] [--deadline-ms MS] [--model M]
+//!                   [--preload ID=NET,LIB]
 //! ```
 //!
 //! `--slew-limit` runs the slew-constrained mode: candidates whose stage
@@ -26,8 +29,15 @@
 //! `fastbuf-batch` and emits per-net + aggregate results (optionally as
 //! JSON); `gen suite` writes a reproducible heavy-tailed net fleet for it.
 //!
+//! `serve` keeps sessions resident and speaks the newline-delimited JSON
+//! v1 envelope of `docs/PROTOCOL.md` over TCP or stdin/stdout.
+//!
 //! Nets and libraries use the plain-text formats of `fastbuf_rctree::io`
 //! and `fastbuf_buflib::BufferLibrary::{to_text, from_text}`.
+//!
+//! Exit codes are documented in `fastbuf --help`: 0 success, 2 usage or
+//! failed check, 3 I/O, and 10–20 for the typed solver errors (one
+//! distinct code per `SolveError` variant).
 
 use std::process::ExitCode;
 
@@ -40,7 +50,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,0 +1,640 @@
+//! Request execution: one frame in, exactly one reply frame out.
+//!
+//! Every failure mode — malformed JSON, unsupported version, unknown
+//! design, solver error, missed deadline, even a panic in the solve —
+//! becomes a typed error reply (`{"ok": false, "error": {"code": …}}`);
+//! nothing a client sends can take the process down. Error codes are
+//! either envelope codes ([`wire::WireError::code`]) or the stable
+//! [`SolveError::kind`] names, plus the transport-level codes
+//! `too-large`, `io`, `net-parse`, `lib-parse`, `edit-parse`,
+//! `unknown-design`, `deadline`, and `internal`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastbuf_api::json::{json_f64, json_str, NetRecordOwned};
+use fastbuf_api::wire::{
+    self, error_frame, ok_frame, parse_frame, scenario_record, Op, SolveParams, Source,
+};
+use fastbuf_api::{parse_scenario_lines, Scenario, Session, SolveError};
+use fastbuf_incremental::parse_edits;
+use fastbuf_rctree::{io as netio, model_by_name, DelayModel, RoutingTree};
+
+use crate::registry::{DesignRegistry, EcoState};
+use crate::ServerConfig;
+
+/// What the transport should do with the reply.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// Send the reply; keep serving.
+    Reply(String),
+    /// Send the reply, then begin graceful shutdown (stop accepting,
+    /// drain in-flight work).
+    Shutdown(String),
+}
+
+impl FrameOutcome {
+    /// The reply frame to send in either case.
+    pub fn reply(&self) -> &str {
+        match self {
+            FrameOutcome::Reply(s) | FrameOutcome::Shutdown(s) => s,
+        }
+    }
+}
+
+/// Executes one request frame against the registry.
+///
+/// `received` is when the transport read the frame; deadlines count from
+/// there, so time spent queued behind other requests is charged to the
+/// request — a client's `deadline_ms` bounds its observed latency, not
+/// just compute.
+pub fn handle_frame(
+    registry: &DesignRegistry,
+    config: &ServerConfig,
+    frame: &str,
+    received: Instant,
+) -> FrameOutcome {
+    if frame.len() > config.max_frame_bytes {
+        return FrameOutcome::Reply(error_frame(
+            None,
+            "too-large",
+            &format!(
+                "frame is {} bytes, limit is {}",
+                frame.len(),
+                config.max_frame_bytes
+            ),
+        ));
+    }
+    let (id, op) = parse_frame(frame);
+    let id = id.as_ref();
+    let op = match op {
+        Ok(op) => op,
+        Err(e) => return FrameOutcome::Reply(error_frame(id, e.code(), &e.to_string())),
+    };
+    if let Op::Shutdown = op {
+        return FrameOutcome::Shutdown(ok_frame(id, "{\"stopping\": true}"));
+    }
+    // Solves can panic only on internal invariant violations; turn even
+    // those into an error reply so one poisoned request cannot take the
+    // server down. (A panic may poison that design's lock — subsequent
+    // requests against it then also reply `internal` — but every other
+    // design and the process itself stay healthy.)
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        execute(registry, config, &op, received)
+    }));
+    FrameOutcome::Reply(match result {
+        Ok(Ok(result)) => ok_frame(id, &result),
+        Ok(Err(e)) => error_frame(id, e.code, &e.message),
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_owned());
+            error_frame(id, "internal", &what)
+        }
+    })
+}
+
+/// A typed handler error: a stable code plus a human-readable message.
+struct HandlerError {
+    code: &'static str,
+    message: String,
+}
+
+impl HandlerError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        HandlerError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<SolveError> for HandlerError {
+    fn from(e: SolveError) -> Self {
+        HandlerError {
+            code: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+fn deadline_of(params: &SolveParams, config: &ServerConfig) -> Option<Duration> {
+    params
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(config.default_deadline)
+}
+
+fn check_deadline(
+    deadline: Option<Duration>,
+    received: Instant,
+    when: &str,
+) -> Result<(), HandlerError> {
+    if let Some(limit) = deadline {
+        let spent = received.elapsed();
+        if spent > limit {
+            return Err(HandlerError::new(
+                "deadline",
+                format!(
+                    "{when}: {:.1} ms spent against a {} ms deadline",
+                    spent.as_secs_f64() * 1e3,
+                    limit.as_millis()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn execute(
+    registry: &DesignRegistry,
+    config: &ServerConfig,
+    op: &Op,
+    received: Instant,
+) -> Result<String, HandlerError> {
+    match op {
+        Op::Ping => Ok("{\"pong\": true}".to_owned()),
+        Op::Stats => Ok(stats(registry)),
+        Op::Shutdown => unreachable!("shutdown is intercepted before execute"),
+        Op::Load {
+            design,
+            net,
+            lib,
+            model,
+        } => load(registry, design, net, lib, model.as_deref()),
+        Op::Unload { design } => {
+            if registry.unload(design) {
+                Ok(format!(
+                    "{{\"design\": {}, \"unloaded\": true}}",
+                    json_str(design)
+                ))
+            } else {
+                Err(unknown_design(design))
+            }
+        }
+        Op::Solve(params) => solve(registry, config, params, received),
+        Op::Eco { params, edits } => eco(registry, config, params, edits, received),
+        // `Op` is non-exhaustive: a future wire op this build predates.
+        _ => Err(HandlerError::new(
+            "unknown-op",
+            "op not supported by this server build",
+        )),
+    }
+}
+
+fn unknown_design(id: &str) -> HandlerError {
+    HandlerError::new(
+        "unknown-design",
+        format!("no design loaded under id `{id}`"),
+    )
+}
+
+fn stats(registry: &DesignRegistry) -> String {
+    let rows: Vec<String> = registry
+        .stats()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"design\": {}, \"sinks\": {}, \"sites\": {}, \"eco_warm\": {}}}",
+                json_str(&d.id),
+                d.sinks,
+                d.sites,
+                d.eco_warm
+            )
+        })
+        .collect();
+    format!(
+        "{{\"resident\": {}, \"designs\": [{}]}}",
+        rows.len(),
+        rows.join(", ")
+    )
+}
+
+fn read_source(source: &Source, what: &str) -> Result<String, HandlerError> {
+    match source {
+        Source::Text(text) => Ok(text.clone()),
+        Source::Path(path) => std::fs::read_to_string(path)
+            .map_err(|e| HandlerError::new("io", format!("cannot read {what} `{path}`: {e}"))),
+    }
+}
+
+fn load(
+    registry: &DesignRegistry,
+    design: &str,
+    net: &Source,
+    lib: &Source,
+    model: Option<&str>,
+) -> Result<String, HandlerError> {
+    let net_text = read_source(net, "net")?;
+    let lib_text = read_source(lib, "library")?;
+    let tree =
+        netio::parse(&net_text).map_err(|e| HandlerError::new("net-parse", e.to_string()))?;
+    let library = fastbuf_buflib::BufferLibrary::from_text(&lib_text)
+        .map_err(|e| HandlerError::new("lib-parse", e.to_string()))?;
+    let model = resolve_model(model)?
+        .unwrap_or_else(|| model_by_name("elmore").expect("elmore always exists"));
+    let session = Session::builder(library).delay_model(model).build();
+    let sinks = tree.sink_count();
+    let sites = tree.buffer_site_count();
+    let buffers = session.library().len();
+    let (_, evicted) = registry.load(design, session, tree);
+    let evicted: Vec<String> = evicted.iter().map(|id| json_str(id)).collect();
+    Ok(format!(
+        "{{\"design\": {}, \"sinks\": {sinks}, \"sites\": {sites}, \"buffers\": {buffers}, \
+         \"evicted\": [{}]}}",
+        json_str(design),
+        evicted.join(", ")
+    ))
+}
+
+fn resolve_model(name: Option<&str>) -> Result<Option<Arc<dyn DelayModel>>, HandlerError> {
+    match name {
+        None => Ok(None),
+        Some(name) => model_by_name(name)
+            .map(Some)
+            .ok_or_else(|| SolveError::UnknownModel(name.to_owned()).into()),
+    }
+}
+
+/// Builds the request's scenario list: explicit lines through the shared
+/// [`parse_scenario_lines`] path (the CLI's `--scenarios` parser), or the
+/// one anonymous default scenario. The request-level `algo`/`model` are
+/// defaults, never overrides — a line's own `algo=`/`model=` wins.
+fn build_scenarios(params: &SolveParams) -> Result<Vec<Scenario>, HandlerError> {
+    let model = resolve_model(params.model.as_deref())?;
+    match &params.scenarios {
+        Some(lines) => Ok(parse_scenario_lines(
+            &lines.join("\n"),
+            params.algorithm,
+            model.as_ref(),
+        )?),
+        None => {
+            let mut scenario = Scenario::default();
+            if let Some(algorithm) = params.algorithm {
+                scenario = scenario.algorithm(algorithm);
+            }
+            scenario.delay_model = model;
+            Ok(vec![scenario])
+        }
+    }
+}
+
+/// Serializes the solve/eco response body shared by both ops.
+fn result_body(
+    design: &str,
+    records: &[NetRecordOwned],
+    worst_slack_ps: Option<f64>,
+    elapsed: Duration,
+    extra: &str,
+) -> String {
+    let results: Vec<String> = records.iter().map(NetRecordOwned::to_json).collect();
+    format!(
+        "{{\"design\": {}, \"scenarios\": {}, \"worst_slack_ps\": {}, \"elapsed_us\": {}{extra}, \
+         \"results\": [{}]}}",
+        json_str(design),
+        records.len(),
+        worst_slack_ps.map_or_else(|| "null".to_owned(), json_f64),
+        json_f64(elapsed.as_secs_f64() * 1e6),
+        results.join(", ")
+    )
+}
+
+fn solve(
+    registry: &DesignRegistry,
+    config: &ServerConfig,
+    params: &SolveParams,
+    received: Instant,
+) -> Result<String, HandlerError> {
+    let deadline = deadline_of(params, config);
+    check_deadline(deadline, received, "not started")?;
+    let design = registry
+        .get(&params.design)
+        .ok_or_else(|| unknown_design(&params.design))?;
+    let scenarios = build_scenarios(params)?;
+    let named = params.scenarios.is_some();
+    // Snapshot the tree, then drop the lock: concurrent solves against
+    // one design proceed in parallel; only ECO edits serialize.
+    let tree: Arc<RoutingTree> = {
+        let state = design.state.read().expect("design lock poisoned");
+        Arc::clone(&state.tree)
+    };
+    // One workspace per request — cross-request parallelism comes from
+    // the server's worker pool, not from fanning out inside a request.
+    let outcome = design
+        .session
+        .request(&tree)
+        .scenarios(scenarios)
+        .workers(1)
+        .solve()?;
+    if params.verify {
+        outcome.verify(&tree, design.session.library())?;
+    }
+    let records = records_of(
+        &params.design,
+        &tree,
+        &design.session,
+        &outcome,
+        named,
+        params,
+    )?;
+    // Read-only op: a blown deadline discards the result.
+    check_deadline(deadline, received, "completed late")?;
+    Ok(result_body(
+        &params.design,
+        &records,
+        outcome.worst_slack().map(|s| s.picos()),
+        outcome.elapsed,
+        "",
+    ))
+}
+
+fn records_of(
+    design: &str,
+    tree: &RoutingTree,
+    session: &Session,
+    outcome: &fastbuf_api::Outcome,
+    named: bool,
+    params: &SolveParams,
+) -> Result<Vec<NetRecordOwned>, HandlerError> {
+    outcome
+        .scenarios
+        .iter()
+        .map(|corner| {
+            scenario_record(
+                design,
+                0,
+                tree,
+                session.library(),
+                corner,
+                named,
+                params.placements,
+            )
+            .map_err(HandlerError::from)
+        })
+        .collect()
+}
+
+fn eco(
+    registry: &DesignRegistry,
+    config: &ServerConfig,
+    params: &SolveParams,
+    edit_lines: &[String],
+    received: Instant,
+) -> Result<String, HandlerError> {
+    let deadline = deadline_of(params, config);
+    // ECO commits atomically once started, so the deadline is enforced
+    // at admission only (see docs/PROTOCOL.md).
+    check_deadline(deadline, received, "not started")?;
+    let design = registry
+        .get(&params.design)
+        .ok_or_else(|| unknown_design(&params.design))?;
+    let edits =
+        parse_edits(&edit_lines.join("\n")).map_err(|e| HandlerError::new("edit-parse", e))?;
+    let scenarios = build_scenarios(params)?;
+    let named = params.scenarios.is_some();
+    // Fingerprint of the scenario set this request wants; a warm solver
+    // built for the same set is reused (its per-corner subtree caches are
+    // the payoff of staying resident), anything else is rebuilt.
+    let key = format!(
+        "{:?}|{:?}|{:?}",
+        params.scenarios, params.algorithm, params.model
+    );
+
+    let mut state = design.state.write().expect("design lock poisoned");
+    if state.eco.as_ref().is_none_or(|e| e.key != key) {
+        let solver = design.session.eco(&state.tree, scenarios)?;
+        state.eco = Some(EcoState { key, solver });
+    }
+    let eco_state = state.eco.as_mut().expect("just ensured");
+    eco_state.solver.apply_all(&edits)?;
+    let outcome = eco_state.solver.solve()?;
+    if params.verify {
+        outcome.verify(eco_state.solver.tree(), design.session.library())?;
+    }
+    let tree = Arc::new(eco_state.solver.tree().clone());
+    let cache: Vec<String> = eco_state
+        .solver
+        .cache_report()
+        .iter()
+        .map(|(name, cached, applied)| {
+            format!(
+                "{{\"scenario\": {}, \"cached_nodes\": {cached}, \"edits_applied\": {applied}}}",
+                json_str(name)
+            )
+        })
+        .collect();
+    state.tree = Arc::clone(&tree);
+    let records = records_of(
+        &params.design,
+        &tree,
+        &design.session,
+        &outcome,
+        named,
+        params,
+    )?;
+    drop(state);
+    Ok(result_body(
+        &params.design,
+        &records,
+        outcome.worst_slack().map(|s| s.picos()),
+        outcome.elapsed,
+        &format!(
+            ", \"edits\": {}, \"cache\": [{}]",
+            edits.len(),
+            cache.join(", ")
+        ),
+    ))
+}
+
+// Re-exported so integration tests can assert against the same wire
+// helpers the handler uses.
+pub use wire::WIRE_VERSION;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_api::wire::Json;
+    use fastbuf_buflib::units::Microns;
+    use fastbuf_buflib::BufferLibrary;
+
+    fn loaded_registry() -> DesignRegistry {
+        let registry = DesignRegistry::new(4);
+        let session = Session::new(BufferLibrary::paper_synthetic(6).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(8_000.0), 10);
+        registry.load("d1", session, tree);
+        registry
+    }
+
+    fn reply(registry: &DesignRegistry, frame: &str) -> Json {
+        let outcome = handle_frame(registry, &ServerConfig::default(), frame, Instant::now());
+        Json::parse(outcome.reply()).expect("replies are valid JSON")
+    }
+
+    #[test]
+    fn solve_matches_a_direct_session_solve_bit_for_bit() {
+        let registry = loaded_registry();
+        let v = reply(
+            &registry,
+            r#"{"v": 1, "id": 1, "op": "solve", "design": "d1", "placements": true}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        let result = v.get("result").unwrap();
+        let record = &result.get("results").and_then(Json::as_array).unwrap()[0];
+
+        // The same solve done directly through the Session API.
+        let session = Session::new(BufferLibrary::paper_synthetic(6).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(8_000.0), 10);
+        let outcome = session.request(&tree).solve().unwrap();
+        let direct = outcome.scenarios[0].solution().unwrap();
+
+        let served = record.get("slack_after_ps").and_then(Json::as_f64).unwrap();
+        assert_eq!(served.to_bits(), direct.slack.picos().to_bits());
+        assert_eq!(
+            record.get("buffers").and_then(Json::as_u64).unwrap() as usize,
+            direct.placements.len()
+        );
+        assert_eq!(
+            result
+                .get("worst_slack_ps")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            outcome.worst_slack().unwrap().picos().to_bits()
+        );
+    }
+
+    #[test]
+    fn typed_errors_never_kill_the_handler() {
+        let registry = loaded_registry();
+        let code = |frame: &str| {
+            reply(&registry, frame)
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .expect("an error reply")
+        };
+        assert_eq!(code("garbage"), "parse");
+        assert_eq!(code(r#"{"v": 9, "op": "ping"}"#), "unsupported-version");
+        assert_eq!(code(r#"{"v": 1, "op": "warp"}"#), "unknown-op");
+        assert_eq!(code(r#"{"v": 1, "op": "solve"}"#), "bad-request");
+        assert_eq!(
+            code(r#"{"v": 1, "op": "solve", "design": "nope"}"#),
+            "unknown-design"
+        );
+        assert_eq!(
+            code(r#"{"v": 1, "op": "solve", "design": "d1", "model": "spice"}"#),
+            "unknown-model"
+        );
+        assert_eq!(
+            code(r#"{"v": 1, "op": "solve", "design": "d1", "scenarios": ["a a="]}"#),
+            "scenario-parse"
+        );
+        assert_eq!(
+            code(r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["explode n1"]}"#),
+            "edit-parse"
+        );
+        assert_eq!(
+            code(r#"{"v": 1, "op": "solve", "design": "d1", "deadline_ms": 0}"#),
+            "deadline"
+        );
+        // …and the handler still works afterwards.
+        let v = reply(&registry, r#"{"v": 1, "op": "ping"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn eco_updates_state_and_reuses_the_warm_solver() {
+        let registry = loaded_registry();
+        let frame = r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 1200"]}"#;
+        let v = reply(&registry, frame);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("edits").and_then(Json::as_u64), Some(1));
+
+        // Same scenario set again: the warm solver must be reused, so the
+        // edit counter keeps counting instead of resetting.
+        let frame2 =
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 900", "wire n2 400"]}"#;
+        let v2 = reply(&registry, frame2);
+        let result2 = v2.get("result").unwrap();
+        let cache = result2.get("cache").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            cache[0].get("edits_applied").and_then(Json::as_u64),
+            Some(3),
+            "warm solver was rebuilt instead of reused"
+        );
+
+        // A different scenario set rebuilds (edits_applied resets).
+        let frame3 = r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 800"],
+                         "scenarios": ["slow derate=0.9"]}"#;
+        let v3 = reply(&registry, frame3);
+        let cache3 = v3
+            .get("result")
+            .unwrap()
+            .get("cache")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(
+            cache3[0].get("edits_applied").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            cache3[0].get("scenario").and_then(Json::as_str),
+            Some("slow")
+        );
+    }
+
+    #[test]
+    fn shutdown_is_signalled_to_the_transport() {
+        let registry = loaded_registry();
+        let outcome = handle_frame(
+            &registry,
+            &ServerConfig::default(),
+            r#"{"v": 1, "id": "bye", "op": "shutdown"}"#,
+            Instant::now(),
+        );
+        match &outcome {
+            FrameOutcome::Shutdown(reply) => {
+                let v = Json::parse(reply).unwrap();
+                assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+                assert_eq!(v.get("id").and_then(Json::as_str), Some("bye"));
+            }
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_and_lru_eviction_over_the_wire() {
+        let registry = DesignRegistry::new(1);
+        let config = ServerConfig::default();
+        let net = netio::write(&fastbuf_netgen::line_net(Microns::new(4_000.0), 5));
+        let lib = BufferLibrary::paper_synthetic(4).unwrap().to_text();
+        let load_frame = |id: &str| {
+            format!(
+                "{{\"v\": 1, \"op\": \"load\", \"design\": {}, \"net\": {}, \"lib\": {}}}",
+                json_str(id),
+                json_str(&net),
+                json_str(&lib)
+            )
+        };
+        let v =
+            Json::parse(handle_frame(&registry, &config, &load_frame("a"), Instant::now()).reply())
+                .unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+        let v =
+            Json::parse(handle_frame(&registry, &config, &load_frame("b"), Instant::now()).reply())
+                .unwrap();
+        let evicted = v
+            .get("result")
+            .unwrap()
+            .get("evicted")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(evicted[0].as_str(), Some("a"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The multi-tenant design registry: warm per-design state keyed by id.
+//!
+//! Each loaded design owns one immutable [`Session`] (library,
+//! technology, delay model, pooled workspaces) plus mutable
+//! [`DesignState`] behind a `RwLock`: the current routing tree and the
+//! warm per-corner [`EcoSolver`]. Reads (solves against a tree snapshot)
+//! run concurrently; ECO edits serialize per design. Designs are
+//! isolated — nothing is shared between ids, so evicting or reloading
+//! one cannot disturb another's caches.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use fastbuf_api::{EcoSolver, Session};
+use fastbuf_rctree::RoutingTree;
+
+/// The warm per-corner incremental engine of a design, tagged with the
+/// scenario fingerprint it was built for. An eco request whose scenario
+/// set differs rebuilds the solver; one that matches reuses the subtree
+/// caches across requests — the whole point of staying resident.
+#[derive(Debug)]
+pub struct EcoState {
+    /// Fingerprint of the scenario set (+ defaults) the solver serves.
+    pub key: String,
+    /// The warm engine: one persistent subtree cache per corner.
+    pub solver: EcoSolver,
+}
+
+/// The mutable state of a design.
+#[derive(Debug)]
+pub struct DesignState {
+    /// The current routing tree (updated by each applied ECO edit).
+    pub tree: Arc<RoutingTree>,
+    /// The warm ECO engine, if an eco request has run.
+    pub eco: Option<EcoState>,
+}
+
+/// One resident design.
+#[derive(Debug)]
+pub struct Design {
+    /// The registry key.
+    pub id: String,
+    /// The immutable solve context (library, technology, delay model,
+    /// workspace pool) shared by every request against this design.
+    pub session: Session,
+    /// Tree + ECO caches; `read` to solve, `write` to edit.
+    pub state: RwLock<DesignState>,
+    /// Logical timestamp of the last request that touched this design.
+    last_used: AtomicU64,
+}
+
+/// Designs keyed by id with LRU eviction.
+#[derive(Debug)]
+pub struct DesignRegistry {
+    designs: Mutex<HashMap<String, Arc<Design>>>,
+    /// Monotonic logical clock; bumped on every touch.
+    clock: AtomicU64,
+    max_designs: usize,
+}
+
+/// One row of [`DesignRegistry::stats`].
+#[derive(Clone, Debug)]
+pub struct DesignStats {
+    /// The design id.
+    pub id: String,
+    /// Sinks in the current tree.
+    pub sinks: usize,
+    /// Candidate buffer sites in the current tree.
+    pub sites: usize,
+    /// Whether a warm ECO engine is resident.
+    pub eco_warm: bool,
+    /// Logical timestamp of the last touch (higher = more recent).
+    pub last_used: u64,
+}
+
+impl DesignRegistry {
+    /// An empty registry holding at most `max_designs` designs
+    /// (minimum 1).
+    pub fn new(max_designs: usize) -> Self {
+        DesignRegistry {
+            designs: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            max_designs: max_designs.max(1),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Inserts (or replaces) a design, evicting least-recently-used
+    /// entries beyond the cap. Returns the resident design and the ids
+    /// evicted to make room.
+    pub fn load(
+        &self,
+        id: &str,
+        session: Session,
+        tree: RoutingTree,
+    ) -> (Arc<Design>, Vec<String>) {
+        let design = Arc::new(Design {
+            id: id.to_owned(),
+            session,
+            state: RwLock::new(DesignState {
+                tree: Arc::new(tree),
+                eco: None,
+            }),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        let mut designs = self.designs.lock().expect("registry lock poisoned");
+        designs.insert(id.to_owned(), Arc::clone(&design));
+        let mut evicted = Vec::new();
+        while designs.len() > self.max_designs {
+            // Evict the stalest entry; the one just loaded carries the
+            // freshest tick, so it can never be the victim here.
+            let victim = designs
+                .iter()
+                .min_by_key(|(_, d)| d.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("len > cap >= 1 means non-empty");
+            designs.remove(&victim);
+            evicted.push(victim);
+        }
+        (design, evicted)
+    }
+
+    /// Looks a design up, marking it most recently used.
+    pub fn get(&self, id: &str) -> Option<Arc<Design>> {
+        let designs = self.designs.lock().expect("registry lock poisoned");
+        let design = designs.get(id)?;
+        design.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(design))
+    }
+
+    /// Drops a design; `false` if the id was not resident. In-flight
+    /// requests that already hold the `Arc` finish against the orphaned
+    /// state (per-design isolation makes that safe).
+    pub fn unload(&self, id: &str) -> bool {
+        self.designs
+            .lock()
+            .expect("registry lock poisoned")
+            .remove(id)
+            .is_some()
+    }
+
+    /// A snapshot of the resident designs, most recently used first.
+    pub fn stats(&self) -> Vec<DesignStats> {
+        let designs = self.designs.lock().expect("registry lock poisoned");
+        let mut rows: Vec<DesignStats> = designs
+            .values()
+            .map(|d| {
+                let state = d.state.read().expect("design lock poisoned");
+                DesignStats {
+                    id: d.id.clone(),
+                    sinks: state.tree.sink_count(),
+                    sites: state.tree.buffer_site_count(),
+                    eco_warm: state.eco.is_some(),
+                    last_used: d.last_used.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.last_used));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbuf_buflib::units::Microns;
+    use fastbuf_buflib::BufferLibrary;
+
+    fn design(sites: usize) -> (Session, RoutingTree) {
+        let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(5_000.0), sites);
+        (session, tree)
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_design() {
+        let registry = DesignRegistry::new(2);
+        for id in ["a", "b"] {
+            let (session, tree) = design(4);
+            let (_, evicted) = registry.load(id, session, tree);
+            assert!(evicted.is_empty());
+        }
+        // Touch `a` so `b` is now the LRU entry.
+        registry.get("a").unwrap();
+        let (session, tree) = design(4);
+        let (_, evicted) = registry.load("c", session, tree);
+        assert_eq!(evicted, vec!["b".to_owned()]);
+        assert!(registry.get("b").is_none());
+        assert!(registry.get("a").is_some() && registry.get("c").is_some());
+    }
+
+    #[test]
+    fn reload_replaces_without_eviction() {
+        let registry = DesignRegistry::new(1);
+        let (session, tree) = design(4);
+        registry.load("a", session, tree);
+        let (session, tree) = design(9);
+        let (_, evicted) = registry.load("a", session, tree);
+        // Replacing the same id is not an eviction.
+        assert!(evicted.is_empty());
+        let state = registry.get("a").unwrap();
+        let sites = state.state.read().unwrap().tree.buffer_site_count();
+        assert_eq!(sites, 9);
+    }
+
+    #[test]
+    fn stats_order_by_recency_and_unload_drops() {
+        let registry = DesignRegistry::new(4);
+        for id in ["a", "b"] {
+            let (session, tree) = design(4);
+            registry.load(id, session, tree);
+        }
+        registry.get("a").unwrap();
+        let rows = registry.stats();
+        assert_eq!(rows[0].id, "a");
+        assert!(!rows[0].eco_warm);
+        assert!(registry.unload("b"));
+        assert!(!registry.unload("b"));
+        assert_eq!(registry.stats().len(), 1);
+    }
+}

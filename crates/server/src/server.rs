@@ -1,0 +1,206 @@
+//! Transports: newline-delimited JSON over TCP or stdio.
+//!
+//! Both transports share one shape: reader threads turn input lines into
+//! jobs, a **bounded** crossbeam channel (capacity
+//! [`ServerConfig::max_inflight`]) carries them to a worker pool, and
+//! workers write reply frames under a per-connection writer lock.
+//! The bounded queue is the backpressure invariant: when
+//! `max_inflight` requests are admitted but unfinished, readers block on
+//! `send`, the kernel's TCP buffers fill, and remote clients stall on
+//! `write` — memory use is bounded no matter how fast clients push.
+//!
+//! Graceful shutdown (a `shutdown` op, or [`Server::stop`]): the accept
+//! loop stops admitting connections and shuts down the **read** half of
+//! every open socket, so readers drain at EOF while in-flight replies
+//! still go out on the write half; once every reader exits, the job
+//! senders drop, workers drain the queue to disconnect, and
+//! [`Server::serve_tcp`] returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::handler::{handle_frame, FrameOutcome};
+use crate::registry::DesignRegistry;
+use crate::ServerConfig;
+
+/// One client connection's reply sink. Workers may finish out of order;
+/// each reply is one line written under this lock, and clients correlate
+/// via the echoed `id`.
+struct Conn {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Conn {
+    fn send_line(&self, line: &str) {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        // A client that hung up mid-reply is not a server error.
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+    }
+}
+
+struct Job {
+    frame: String,
+    received: Instant,
+    conn: Arc<Conn>,
+}
+
+/// A resident solve server (see the crate docs for the protocol).
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    registry: Arc<DesignRegistry>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// A server with an empty design registry.
+    pub fn new(config: ServerConfig) -> Self {
+        let registry = Arc::new(DesignRegistry::new(config.max_designs));
+        Server {
+            config,
+            registry,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The design registry (for preloading designs before serving).
+    pub fn registry(&self) -> &Arc<DesignRegistry> {
+        &self.registry
+    }
+
+    /// Requests graceful shutdown from another thread: stop accepting,
+    /// drain in-flight work, return from the serve call.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle for stopping the server from another thread.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    fn worker_loop(&self, jobs: &Receiver<Job>) {
+        while let Ok(job) = jobs.recv() {
+            let outcome = handle_frame(&self.registry, &self.config, &job.frame, job.received);
+            job.conn.send_line(outcome.reply());
+            if let FrameOutcome::Shutdown(_) = outcome {
+                self.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Reads newline-delimited frames from `input`, blocking on the
+    /// bounded job queue when the pool is saturated (that block is the
+    /// backpressure). Returns at EOF, on a read error, or at shutdown.
+    fn reader_loop(&self, input: impl std::io::Read, conn: &Arc<Conn>, jobs: &Sender<Job>) {
+        let reader = BufReader::new(input);
+        for line in reader.lines() {
+            let Ok(frame) = line else { break };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if frame.trim().is_empty() {
+                continue;
+            }
+            let job = Job {
+                frame,
+                received: Instant::now(),
+                conn: Arc::clone(conn),
+            };
+            if jobs.send(job).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Serves concurrent clients on `listener` until a `shutdown` op or
+    /// [`Server::stop`]. Each connection gets a reader thread; request
+    /// execution is spread over [`ServerConfig::workers`] pool threads.
+    ///
+    /// # Errors
+    ///
+    /// Only setup errors (making the listener non-blocking); per-client
+    /// I/O failures just end that client's connection.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let (jobs_tx, jobs_rx) = bounded::<Job>(self.config.max_inflight);
+        // Read halves of open connections, for unblocking readers at
+        // shutdown while their write halves finish delivering replies.
+        let open: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let jobs_rx = jobs_rx.clone();
+                scope.spawn(move || self.worker_loop(&jobs_rx));
+            }
+            drop(jobs_rx);
+
+            while !self.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        // Replies are small frames on a request/reply
+                        // rhythm; leaving Nagle on costs a delayed-ACK
+                        // stall (tens of ms) per round trip.
+                        let _ = stream.set_nodelay(true);
+                        let Ok(read_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        open.lock()
+                            .expect("open list poisoned")
+                            .push(match stream.try_clone() {
+                                Ok(s) => s,
+                                Err(_) => continue,
+                            });
+                        // Readers block on socket reads; the listener's
+                        // non-blocking mode must not leak onto them.
+                        let _ = read_half.set_nonblocking(false);
+                        let conn = Arc::new(Conn {
+                            writer: Mutex::new(Box::new(stream)),
+                        });
+                        let jobs_tx = jobs_tx.clone();
+                        scope.spawn(move || self.reader_loop(read_half, &conn, &jobs_tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+
+            // Shutdown: unblock every reader by closing the read half;
+            // replies already in flight still go out on the write half.
+            for stream in open.lock().expect("open list poisoned").iter() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+            // Dropping the last sender lets workers drain and exit.
+            drop(jobs_tx);
+        });
+        Ok(())
+    }
+
+    /// Serves one client over stdin/stdout (same worker pool, same
+    /// protocol). Returns at stdin EOF or after a `shutdown` op — note a
+    /// `shutdown` is only observed once the blocking stdin read returns,
+    /// i.e. on the next input line or EOF.
+    pub fn serve_stdio(&self) {
+        let (jobs_tx, jobs_rx) = bounded::<Job>(self.config.max_inflight);
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(Box::new(std::io::stdout())),
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let jobs_rx = jobs_rx.clone();
+                scope.spawn(move || self.worker_loop(&jobs_rx));
+            }
+            drop(jobs_rx);
+            self.reader_loop(std::io::stdin().lock(), &conn, &jobs_tx);
+            drop(jobs_tx);
+        });
+    }
+}

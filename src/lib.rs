@@ -27,6 +27,7 @@
 //! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets, suites, and ECO edit scripts |
 //! | [`batch`] | `fastbuf-batch` | parallel batch solving of net fleets over a worker pool |
 //! | [`incremental`] | `fastbuf-incremental` | incremental (ECO) re-solving with per-subtree caching, bit-identical to scratch |
+//! | [`server`] | `fastbuf-server` | `fastbuf serve`: resident solve-as-a-service daemon (warm sessions, v1 wire protocol) |
 //!
 //! # Quick start
 //!
@@ -72,6 +73,7 @@ pub use fastbuf_design as design;
 pub use fastbuf_incremental as incremental;
 pub use fastbuf_netgen as netgen;
 pub use fastbuf_rctree as rctree;
+pub use fastbuf_server as server;
 
 pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;

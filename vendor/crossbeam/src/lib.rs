@@ -1,8 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
 //!
-//! Provides the one facility this workspace uses: an unbounded MPMC
-//! [`channel`] whose [`channel::Receiver`] is clonable, so a pool of
-//! worker threads can pull work items from a shared queue.
+//! Provides the facilities this workspace uses: MPMC [`channel`]s —
+//! [`channel::unbounded`] for fire-and-forget fan-out, and
+//! [`channel::bounded`] whose full-queue blocking `send` gives the
+//! server its in-flight backpressure — with clonable
+//! [`channel::Receiver`]s, so a pool of worker threads can pull work
+//! items from a shared queue.
 
 #![deny(missing_docs)]
 
@@ -16,11 +19,17 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Signaled when a bounded queue frees a slot (never waited on by
+        /// unbounded channels).
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
+        receivers: usize,
+        /// `usize::MAX` = unbounded.
+        capacity: usize,
     }
 
     /// The sending half of an unbounded channel.
@@ -56,14 +65,16 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
+                capacity,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -73,15 +84,42 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// Creates a bounded channel holding at most `capacity` items:
+    /// [`Sender::send`] blocks while the queue is full, so producers are
+    /// throttled to the consumers' pace (backpressure). A capacity of 0
+    /// is rounded up to 1 (this stand-in has no rendezvous mode).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(capacity.max(1))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `item`, waking one waiting receiver.
+        /// Enqueues `item`, waking one waiting receiver. On a bounded
+        /// channel this blocks while the queue is full.
         ///
         /// # Errors
         ///
-        /// This unbounded stand-in never fails while a receiver exists; it
-        /// keeps the `Result` signature of crossbeam for drop-in use.
+        /// [`SendError`] (returning the item) once every receiver is
+        /// gone — including while blocked on a full queue.
         pub fn send(&self, item: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+            while state.items.len() >= state.capacity {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                state = self
+                    .shared
+                    .space
+                    .wait(state)
+                    .expect("channel lock poisoned");
+            }
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
             state.items.push_back(item);
             drop(state);
             self.shared.ready.notify_one();
@@ -125,6 +163,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().expect("channel lock poisoned");
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -140,19 +180,43 @@ pub mod channel {
 
         /// Takes an item without blocking, if one is ready.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared
+            let item = self
+                .shared
                 .queue
                 .lock()
                 .expect("channel lock poisoned")
                 .items
-                .pop_front()
+                .pop_front();
+            if item.is_some() {
+                self.shared.space.notify_one();
+            }
+            item
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock poisoned")
+                .receivers += 1;
             Receiver {
                 shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                // Senders blocked on a full bounded queue must observe the
+                // disconnect instead of sleeping forever.
+                self.shared.space.notify_all();
             }
         }
     }
@@ -194,6 +258,45 @@ mod tests {
             }
         });
         assert!(counts.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+
+        let (tx, rx) = channel::bounded::<usize>(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let sent = &sent;
+            scope.spawn(move || {
+                tx.send(2).unwrap(); // blocks: queue is full
+                sent.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(
+                sent.load(Ordering::SeqCst),
+                0,
+                "send went through while full"
+            );
+            assert_eq!(rx.recv(), Ok(0)); // frees a slot, unblocks the sender
+        });
+        assert_eq!(sent.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receivers_are_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(rx); // wakes the blocked sender with an error
+        assert_eq!(blocked.join().unwrap(), Err(channel::SendError(2)));
     }
 
     #[test]
