@@ -18,10 +18,10 @@ use fastbuf_api::wire::{
     self, error_frame, ok_frame, parse_frame, scenario_record, Op, SolveParams, Source,
 };
 use fastbuf_api::{parse_scenario_lines, Scenario, Session, SolveError};
-use fastbuf_incremental::parse_edits;
+use fastbuf_incremental::{parse_edits, Edit};
 use fastbuf_rctree::{io as netio, model_by_name, DelayModel, RoutingTree};
 
-use crate::registry::{DesignRegistry, EcoState};
+use crate::registry::{Design, DesignRegistry, DesignState, EcoState};
 use crate::ServerConfig;
 
 /// What the transport should do with the reply.
@@ -92,7 +92,10 @@ pub fn handle_frame(
                 .map(|s| (*s).to_owned())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "panic".to_owned());
-            error_frame(id, "internal", &what)
+            // Panic payloads name internal paths and invariants; keep
+            // the detail in the server log, off the wire.
+            eprintln!("fastbuf-server: request panicked: {what}");
+            error_frame(id, "internal", "internal error while handling the request")
         }
     })
 }
@@ -404,12 +407,38 @@ fn eco(
     );
 
     let mut state = design.state.write().expect("design lock poisoned");
+    let result = eco_locked(&design, params, &edits, scenarios, key, named, &mut state);
+    if result.is_err() {
+        // Edits apply into the warm engine one at a time, so a failure
+        // anywhere in the locked section (an edit rejected partway
+        // through the batch, a solve or verify error) can leave the
+        // engine ahead of the committed tree. Drop it: the next request
+        // rebuilds from `state.tree` and the failed request's edits are
+        // never visible — the commit stays atomic (docs/PROTOCOL.md).
+        state.eco = None;
+    }
+    result
+}
+
+/// The write-locked half of [`eco`]: ensure a warm solver for `key`,
+/// apply, solve, verify, and only then commit the new tree. Nothing
+/// fallible runs after the `state.tree` assignment; on any `Err` the
+/// caller invalidates `state.eco`.
+fn eco_locked(
+    design: &Design,
+    params: &SolveParams,
+    edits: &[Edit],
+    scenarios: Vec<Scenario>,
+    key: String,
+    named: bool,
+    state: &mut DesignState,
+) -> Result<String, HandlerError> {
     if state.eco.as_ref().is_none_or(|e| e.key != key) {
         let solver = design.session.eco(&state.tree, scenarios)?;
         state.eco = Some(EcoState { key, solver });
     }
     let eco_state = state.eco.as_mut().expect("just ensured");
-    eco_state.solver.apply_all(&edits)?;
+    eco_state.solver.apply_all(edits)?;
     let outcome = eco_state.solver.solve()?;
     if params.verify {
         outcome.verify(eco_state.solver.tree(), design.session.library())?;
@@ -426,7 +455,6 @@ fn eco(
             )
         })
         .collect();
-    state.tree = Arc::clone(&tree);
     let records = records_of(
         &params.design,
         &tree,
@@ -435,7 +463,7 @@ fn eco(
         named,
         params,
     )?;
-    drop(state);
+    state.tree = tree;
     Ok(result_body(
         &params.design,
         &records,
@@ -586,6 +614,61 @@ mod tests {
             cache3[0].get("scenario").and_then(Json::as_str),
             Some("slow")
         );
+    }
+
+    #[test]
+    fn failed_eco_batch_never_leaks_into_committed_state() {
+        let registry = loaded_registry();
+        // Commit one edit so a warm engine exists.
+        let v = reply(
+            &registry,
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 1200"]}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+        // Second batch: the first edit applies into the warm engine,
+        // then the second is rejected (n2 is a buffer site, not a sink).
+        // The whole request must fail...
+        let v = reply(
+            &registry,
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 500", "rat n2 0"]}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("edit")
+        );
+
+        // ...and leave no trace: the next request rebuilds the engine
+        // from the committed tree (its edit counter restarts at 1, not
+        // 3) and solves exactly as if the failed batch never happened.
+        let v = reply(
+            &registry,
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["wire n2 700"]}"#,
+        );
+        let result = v.get("result").expect("eco after failure succeeds");
+        let cache = result.get("cache").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            cache[0].get("edits_applied").and_then(Json::as_u64),
+            Some(1),
+            "warm engine survived a failed batch"
+        );
+
+        let session = Session::new(BufferLibrary::paper_synthetic(6).unwrap());
+        let tree = fastbuf_netgen::line_net(Microns::new(8_000.0), 10);
+        let mut solver = session.eco(&tree, vec![Scenario::default()]).unwrap();
+        solver
+            .apply_all(&parse_edits("rat n11 1200\nwire n2 700").unwrap())
+            .unwrap();
+        let outcome = solver.solve().unwrap();
+        let direct = outcome.scenarios[0].solution().unwrap();
+        let served = result.get("results").and_then(Json::as_array).unwrap()[0]
+            .get("slack_after_ps")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(served.to_bits(), direct.slack.picos().to_bits());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! `max_inflight` requests are admitted but unfinished, readers block on
 //! `send`, the kernel's TCP buffers fill, and remote clients stall on
 //! `write` — memory use is bounded no matter how fast clients push.
+//! Line reads themselves are capped at [`ServerConfig::max_frame_bytes`]
+//! (plus newline slack): a newline-free flood gets a `too-large` reply
+//! and the connection is dropped, so one hostile client cannot grow a
+//! line buffer without bound either.
 //!
 //! Graceful shutdown (a `shutdown` op, or [`Server::stop`]): the accept
 //! loop stops admitting connections and shuts down the **read** half of
@@ -16,13 +20,14 @@
 //! senders drop, workers drain the queue to disconnect, and
 //! [`Server::serve_tcp`] returns.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use fastbuf_api::wire::error_frame;
 
 use crate::handler::{handle_frame, FrameOutcome};
 use crate::registry::DesignRegistry;
@@ -97,14 +102,49 @@ impl Server {
 
     /// Reads newline-delimited frames from `input`, blocking on the
     /// bounded job queue when the pool is saturated (that block is the
-    /// backpressure). Returns at EOF, on a read error, or at shutdown.
+    /// backpressure). Each line is read through a hard cap just above
+    /// [`ServerConfig::max_frame_bytes`], so a newline-free flood cannot
+    /// grow memory without bound: an over-cap line gets a `too-large`
+    /// reply and the connection is dropped (a truncated frame cannot be
+    /// parsed, and resynchronising would mean scanning unbounded
+    /// garbage). Returns at EOF, on a read error, at shutdown, or on an
+    /// over-cap line.
     fn reader_loop(&self, input: impl std::io::Read, conn: &Arc<Conn>, jobs: &Sender<Job>) {
-        let reader = BufReader::new(input);
-        for line in reader.lines() {
-            let Ok(frame) = line else { break };
+        // +2 leaves room for a frame of exactly `max_frame_bytes` plus
+        // its `\r\n`, so at-the-limit frames still reach the handler's
+        // own `too-large` check rather than being cut off here.
+        let cap = (self.config.max_frame_bytes as u64).saturating_add(2);
+        let mut reader = BufReader::new(input);
+        let mut buf = Vec::new();
+        loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
+            buf.clear();
+            let n = match (&mut reader).take(cap).read_until(b'\n', &mut buf) {
+                Ok(0) => break, // EOF
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+            } else if n as u64 == cap {
+                conn.send_line(&error_frame(
+                    None,
+                    "too-large",
+                    &format!(
+                        "line exceeds the {} byte frame limit",
+                        self.config.max_frame_bytes
+                    ),
+                ));
+                break;
+            }
+            // Invalid UTF-8 becomes U+FFFD and fails JSON parsing, so it
+            // gets a typed `parse` reply instead of ending the loop.
+            let frame = String::from_utf8_lossy(&buf).into_owned();
             if frame.trim().is_empty() {
                 continue;
             }
@@ -132,7 +172,11 @@ impl Server {
         let (jobs_tx, jobs_rx) = bounded::<Job>(self.config.max_inflight);
         // Read halves of open connections, for unblocking readers at
         // shutdown while their write halves finish delivering replies.
-        let open: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        // Each reader removes its own entry on exit, so long-running
+        // servers do not accumulate file descriptors for dead clients.
+        let open: Mutex<Vec<(u64, TcpStream)>> = Mutex::new(Vec::new());
+        let open = &open;
+        let mut next_conn: u64 = 0;
 
         std::thread::scope(|scope| {
             for _ in 0..self.config.workers.max(1) {
@@ -151,10 +195,12 @@ impl Server {
                         let Ok(read_half) = stream.try_clone() else {
                             continue;
                         };
+                        let conn_id = next_conn;
+                        next_conn += 1;
                         open.lock()
                             .expect("open list poisoned")
                             .push(match stream.try_clone() {
-                                Ok(s) => s,
+                                Ok(s) => (conn_id, s),
                                 Err(_) => continue,
                             });
                         // Readers block on socket reads; the listener's
@@ -164,7 +210,15 @@ impl Server {
                             writer: Mutex::new(Box::new(stream)),
                         });
                         let jobs_tx = jobs_tx.clone();
-                        scope.spawn(move || self.reader_loop(read_half, &conn, &jobs_tx));
+                        scope.spawn(move || {
+                            self.reader_loop(read_half, &conn, &jobs_tx);
+                            // This connection is done reading; drop its
+                            // shutdown handle so the socket can close
+                            // once in-flight replies finish.
+                            open.lock()
+                                .expect("open list poisoned")
+                                .retain(|(id, _)| *id != conn_id);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -175,7 +229,7 @@ impl Server {
 
             // Shutdown: unblock every reader by closing the read half;
             // replies already in flight still go out on the write half.
-            for stream in open.lock().expect("open list poisoned").iter() {
+            for (_, stream) in open.lock().expect("open list poisoned").iter() {
                 let _ = stream.shutdown(Shutdown::Read);
             }
             // Dropping the last sender lets workers drain and exit.

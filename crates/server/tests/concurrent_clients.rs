@@ -203,6 +203,50 @@ fn direct_eco_signature(edit: &str) -> Signature {
 }
 
 #[test]
+fn newline_free_floods_are_capped_with_too_large_and_dropped() {
+    const MAX_FRAME: usize = 1024;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        max_frame_bytes: MAX_FRAME,
+        ..ServerConfig::default()
+    });
+    let server_thread = thread::spawn(move || server.serve_tcp(listener).unwrap());
+
+    // A newline-free line at the reader's hard cap (frame limit plus
+    // newline slack): the server must answer `too-large` after reading
+    // at most that many bytes — not buffer until a newline shows up —
+    // and then hang up on the connection.
+    let mut flood = Client::connect(addr);
+    flood.writer.write_all(&vec![b'x'; MAX_FRAME + 2]).unwrap();
+    flood.writer.flush().unwrap();
+    let mut line = String::new();
+    flood.reader.read_line(&mut line).unwrap();
+    let reply = Json::parse(line.trim()).expect("typed too-large reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("too-large")
+    );
+    line.clear();
+    assert_eq!(
+        flood.reader.read_line(&mut line).unwrap(),
+        0,
+        "over-cap connection must be dropped"
+    );
+
+    // The server itself is unharmed: fresh connections keep working.
+    let mut fresh = Client::connect(addr);
+    fresh.ok("alive", r#"{"v": 1, "id": "alive", "op": "ping"}"#);
+    fresh.ok("bye", r#"{"v": 1, "id": "bye", "op": "shutdown"}"#);
+    server_thread.join().expect("server thread");
+}
+
+#[test]
 fn concurrent_clients_get_isolated_bit_identical_results() {
     // `rat` edits are idempotent, so any interleaving of eco requests
     // leaves design `b` in the same state and every eco reply must carry
