@@ -78,6 +78,26 @@ pub enum SolveError {
     /// An ECO edit was rejected by the tree or library (see
     /// [`EcoSolver::apply`](crate::EcoSolver::apply)).
     Edit(fastbuf_incremental::EcoError),
+    /// A yield-target request asked for zero samples.
+    NoSamples,
+    /// A yield-target quantile was non-finite or outside `[0, 1]`.
+    InvalidQuantile {
+        /// The rejected quantile.
+        quantile: f64,
+    },
+    /// A variation file could not be parsed (see
+    /// [`parse_variation_spec`](crate::parse_variation_spec)).
+    VariationParse {
+        /// 1-based line number in the variation file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A programmatically built
+    /// [`VariationSpec`](fastbuf_netgen::VariationSpec) carries
+    /// out-of-domain parameters (non-finite, negative sigma, locality
+    /// outside `(0, 1]`, …).
+    InvalidVariation(String),
 }
 
 impl SolveError {
@@ -101,6 +121,10 @@ impl SolveError {
             SolveError::ScenarioParse { .. } => "scenario-parse",
             SolveError::UnknownModel(_) => "unknown-model",
             SolveError::Edit(_) => "edit",
+            SolveError::NoSamples => "no-samples",
+            SolveError::InvalidQuantile { .. } => "invalid-quantile",
+            SolveError::VariationParse { .. } => "variation-parse",
+            SolveError::InvalidVariation(_) => "invalid-variation",
         }
     }
 
@@ -121,6 +145,10 @@ impl SolveError {
             SolveError::ScenarioParse { .. } => 18,
             SolveError::UnknownModel(_) => 19,
             SolveError::Edit(_) => 20,
+            SolveError::NoSamples => 21,
+            SolveError::InvalidQuantile { .. } => 22,
+            SolveError::VariationParse { .. } => 23,
+            SolveError::InvalidVariation(_) => 24,
         }
     }
 }
@@ -164,6 +192,18 @@ impl fmt::Display for SolveError {
                 )
             }
             SolveError::Edit(e) => write!(f, "eco: {e}"),
+            SolveError::NoSamples => {
+                write!(f, "a yield-target request needs at least one sample")
+            }
+            SolveError::InvalidQuantile { quantile } => {
+                write!(f, "quantile {quantile} must be finite and within [0, 1]")
+            }
+            SolveError::VariationParse { line, message } => {
+                write!(f, "variation file line {line}: {message}")
+            }
+            SolveError::InvalidVariation(reason) => {
+                write!(f, "invalid variation spec: {reason}")
+            }
         }
     }
 }
@@ -261,6 +301,13 @@ mod tests {
             SolveError::Edit(fastbuf_incremental::EcoError::Tree(
                 fastbuf_rctree::TreeError::NoSource,
             )),
+            SolveError::NoSamples,
+            SolveError::InvalidQuantile { quantile: 1.5 },
+            SolveError::VariationParse {
+                line: 2,
+                message: "m".into(),
+            },
+            SolveError::InvalidVariation("r".into()),
         ];
         let mut kinds: Vec<&str> = variants.iter().map(SolveError::kind).collect();
         kinds.sort_unstable();

@@ -70,14 +70,19 @@ mod outcome;
 mod request;
 mod scenario;
 mod session;
+mod variation;
 pub mod wire;
 
 pub use eco::EcoSolver;
 pub use error::SolveError;
+pub use fastbuf_netgen::{parse_variation, write_variation, Dist, VariationSpec};
 pub use outcome::{Outcome, ScenarioOutcome, ScenarioResult};
 pub use request::{Objective, SolveRequest};
 pub use scenario::{parse_scenario_lines, parse_scenarios, Scenario};
 pub use session::{Session, SessionBuilder};
+pub use variation::{
+    parse_variation_spec, summarize_samples, SampleResult, VariationOutcome, VariationSummary,
+};
 
 #[cfg(test)]
 mod tests {

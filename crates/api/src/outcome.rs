@@ -13,6 +13,7 @@ use fastbuf_rctree::{elmore, DelayModel, RoutingTree};
 use crate::error::SolveError;
 use crate::request::Objective;
 use crate::scenario::Scenario;
+use crate::variation::VariationOutcome;
 
 /// The per-scenario payload of a solve.
 #[derive(Clone, Debug)]
@@ -24,6 +25,8 @@ pub enum ScenarioResult {
     Frontier(CostFrontier),
     /// A polarity-aware solution ([`Objective::PolarityAware`]).
     Polarity(PolaritySolution),
+    /// A Monte-Carlo slack distribution ([`Objective::YieldTarget`]).
+    Variation(VariationOutcome),
 }
 
 /// One scenario's result, together with the configuration that actually
@@ -71,13 +74,23 @@ impl ScenarioOutcome {
         }
     }
 
+    /// The Monte-Carlo distribution, if this scenario solved for yield.
+    pub fn variation(&self) -> Option<&VariationOutcome> {
+        match &self.result {
+            ScenarioResult::Variation(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The scenario's headline slack: the solution slack, the best
-    /// frontier point, or the polarity solution's slack.
+    /// frontier point, the polarity solution's slack, or the requested
+    /// quantile of the sampled slack distribution.
     pub fn slack(&self) -> Option<Seconds> {
         match &self.result {
             ScenarioResult::Solution(s) => Some(s.slack),
             ScenarioResult::Frontier(f) => f.points.last().map(|p| p.slack),
             ScenarioResult::Polarity(p) => Some(p.slack),
+            ScenarioResult::Variation(v) => Some(v.summary.quantile_slack),
         }
     }
 }
@@ -192,6 +205,13 @@ impl Outcome {
                             }));
                         }
                     }
+                }
+                ScenarioResult::Variation(_) => {
+                    // Sampled sweeps do not track placements (there is
+                    // nothing to forward-evaluate here); their correctness
+                    // contract is per-sample bit-identity to a scratch
+                    // solve of the sampled tree, asserted by the
+                    // differential harness `tests/variation_equivalence.rs`.
                 }
                 ScenarioResult::Polarity(polarity) => {
                     let negated: &[_] = match &self.objective {

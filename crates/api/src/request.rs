@@ -9,6 +9,7 @@ use crossbeam::channel;
 use fastbuf_core::cost::CostSolver;
 use fastbuf_core::polarity::PolaritySolver;
 use fastbuf_core::{SolveWorkspace, Solver};
+use fastbuf_netgen::VariationSpec;
 use fastbuf_rctree::{NodeId, RoutingTree};
 
 use crate::error::SolveError;
@@ -17,7 +18,7 @@ use crate::scenario::Scenario;
 use crate::session::Session;
 
 /// What a request solves for.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 #[non_exhaustive]
 pub enum Objective {
     /// Maximize slack at the source — the paper's problem; one
@@ -37,6 +38,19 @@ pub enum Objective {
     PolarityAware {
         /// Sinks required to receive negative polarity.
         negated_sinks: Vec<NodeId>,
+    },
+    /// Monte-Carlo process-variation solving: expand the request's
+    /// [`VariationSpec`] (see [`SolveRequest::variation`]) into `samples`
+    /// deterministic sampled scenarios, solve each through per-worker warm
+    /// subtree caches, and report the slack distribution — one
+    /// [`VariationOutcome`](crate::VariationOutcome) per scenario instead
+    /// of a single worst-negative-slack number.
+    YieldTarget {
+        /// Number of Monte-Carlo samples (must be non-zero).
+        samples: usize,
+        /// The reported slack quantile in `[0, 1]` (e.g. `0.05` asks "what
+        /// slack do 95 % of dice beat?").
+        quantile: f64,
     },
 }
 
@@ -80,6 +94,7 @@ pub struct SolveRequest<'a> {
     scenarios: Option<Vec<Scenario>>,
     track_predecessors: bool,
     workers: Option<NonZeroUsize>,
+    variation: Option<VariationSpec>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -91,6 +106,7 @@ impl<'a> SolveRequest<'a> {
             scenarios: None,
             track_predecessors: true,
             workers: None,
+            variation: None,
         }
     }
 
@@ -122,6 +138,16 @@ impl<'a> SolveRequest<'a> {
     #[must_use]
     pub fn track_predecessors(mut self, track: bool) -> Self {
         self.track_predecessors = track;
+        self
+    }
+
+    /// Sets the variation family an [`Objective::YieldTarget`] request
+    /// samples from (ignored by the other objectives). A yield request
+    /// without an explicit spec samples [`VariationSpec::default`] — all
+    /// knobs fixed, so every sample is the nominal tree.
+    #[must_use]
+    pub fn variation(mut self, spec: VariationSpec) -> Self {
+        self.variation = Some(spec);
         self
     }
 
@@ -159,15 +185,28 @@ impl<'a> SolveRequest<'a> {
     pub fn solve(&self) -> Result<Outcome, SolveError> {
         let start = Instant::now();
         let scenarios = self.checked_scenarios()?;
-        let workers = self
-            .workers
-            .map(NonZeroUsize::get)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .clamp(1, scenarios.len());
+        let requested_workers = self.workers.map(NonZeroUsize::get).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+
+        // Yield-target requests parallelize across *samples*, not
+        // scenarios: each scenario runs its whole Monte-Carlo sweep with
+        // per-worker warm caches before the next corner starts.
+        if let Objective::YieldTarget { samples, quantile } = &self.objective {
+            let outcomes = scenarios
+                .iter()
+                .map(|s| self.solve_yield_scenario(s, *samples, *quantile, requested_workers))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Outcome {
+                objective: self.objective.clone(),
+                scenarios: outcomes,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        let workers = requested_workers.clamp(1, scenarios.len());
 
         let outcomes = if workers == 1 {
             let mut workspace = self.session.take_workspace();
@@ -251,6 +290,42 @@ impl<'a> SolveRequest<'a> {
             .collect()
     }
 
+    /// Solves one scenario's Monte-Carlo sweep, fanning sample indices
+    /// over `workers` threads (each owning one incremental solver and its
+    /// warm subtree cache).
+    fn solve_yield_scenario(
+        &self,
+        scenario: &Scenario,
+        samples: usize,
+        quantile: f64,
+        workers: usize,
+    ) -> Result<ScenarioOutcome, SolveError> {
+        let start = Instant::now();
+        let model = scenario
+            .delay_model
+            .clone()
+            .unwrap_or_else(|| Arc::clone(self.session.delay_model()));
+        let algorithm = scenario.algorithm.unwrap_or_default();
+        let spec = self.variation.clone().unwrap_or_default();
+        let tree = scenario.apply_derate(self.tree);
+        let outcome = crate::variation::solve_variation(
+            self.session,
+            &tree,
+            scenario,
+            &spec,
+            samples,
+            quantile,
+            workers,
+        )?;
+        Ok(ScenarioOutcome {
+            scenario: scenario.clone(),
+            model,
+            algorithm,
+            result: ScenarioResult::Variation(outcome),
+            elapsed: start.elapsed(),
+        })
+    }
+
     /// Solves one scenario through `workspace`.
     fn solve_scenario(
         &self,
@@ -295,6 +370,15 @@ impl<'a> SolveRequest<'a> {
                     solver.require(sink, fastbuf_core::polarity::Polarity::Negative)?;
                 }
                 ScenarioResult::Polarity(solver.solve()?)
+            }
+            Objective::YieldTarget { samples, quantile } => {
+                // The sequential (`solve_in`) path: the whole sweep on the
+                // calling thread through one warm cache — bit-identical to
+                // any parallel fan-out of the same request.
+                let spec = self.variation.clone().unwrap_or_default();
+                ScenarioResult::Variation(crate::variation::solve_variation(
+                    session, tree, scenario, &spec, *samples, *quantile, 1,
+                )?)
             }
         };
 

@@ -521,6 +521,13 @@ pub struct SolveParams {
     /// Per-request deadline in milliseconds from frame receipt (`None` =
     /// the server's default).
     pub deadline_ms: Option<u64>,
+    /// Inline variation-file text (the `parse_variation` syntax). Present
+    /// ⇒ the op is a yield-target solve.
+    pub variation: Option<String>,
+    /// Monte-Carlo sample count for yield-target solves.
+    pub samples: Option<u64>,
+    /// Reported slack quantile for yield-target solves (default `0.5`).
+    pub quantile: Option<f64>,
 }
 
 /// One parsed request op.
@@ -635,6 +642,13 @@ fn solve_params(obj: &Json) -> Result<SolveParams, WireError> {
                 .map_err(|e| WireError::BadRequest(format!("\"algo\": {e}")))?,
         ),
     };
+    let quantile = match obj.get("quantile") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| WireError::BadRequest("\"quantile\" must be a number".into()))?,
+        ),
+    };
     Ok(SolveParams {
         design: req_str(obj, "design")?,
         scenarios: opt_str_array(obj, "scenarios")?,
@@ -643,6 +657,9 @@ fn solve_params(obj: &Json) -> Result<SolveParams, WireError> {
         placements: opt_bool(obj, "placements", false)?,
         verify: opt_bool(obj, "verify", true)?,
         deadline_ms: opt_u64(obj, "deadline_ms")?,
+        variation: opt_str(obj, "variation")?,
+        samples: opt_u64(obj, "samples")?,
+        quantile,
     })
 }
 
@@ -802,6 +819,73 @@ pub fn scenario_record(
 /// variant (see [`SolveError::kind`]).
 pub fn solve_error_frame(id: Option<&Json>, error: &SolveError) -> String {
     error_frame(id, error.kind(), &error.to_string())
+}
+
+/// Serializes one yield-target scenario's
+/// [`VariationOutcome`](crate::VariationOutcome) — the
+/// per-scenario record of `solve --variation --json` and the server's
+/// variation replies.
+///
+/// The record is **deterministic for a given seed**: it deliberately
+/// carries no wall-clock field and no cache counters (how many subtrees a
+/// worker recomputed depends on how samples were sharded across workers),
+/// and every number comes from the fixed-order summary, so the same
+/// request produces byte-identical JSON at every worker count (asserted
+/// by the differential harness). Cache counters stay available on
+/// [`VariationSummary`](crate::VariationSummary) for telemetry.
+///
+/// `named` adds a `"scenario"` key (multi-corner runs);
+/// `include_samples` appends the full `"per_sample"` array.
+///
+/// # Errors
+///
+/// [`SolveError::Unsupported`] when the scenario did not solve for yield.
+pub fn variation_record(
+    corner: &ScenarioOutcome,
+    named: bool,
+    include_samples: bool,
+) -> Result<String, SolveError> {
+    let outcome = corner.variation().ok_or_else(|| SolveError::Unsupported {
+        scenario: corner.scenario.name.clone(),
+        reason: "variation records cover yield-target solves only".into(),
+    })?;
+    let s = &outcome.summary;
+    let mut record = String::from("{");
+    if named {
+        record.push_str(&format!(
+            "\"scenario\": {}, ",
+            json_str(&corner.scenario.name)
+        ));
+    }
+    record.push_str(&format!(
+        "\"samples\": {}, \"quantile\": {}, \"quantile_slack_ps\": {}, \
+         \"min_slack_ps\": {}, \"max_slack_ps\": {}, \"mean_slack_ps\": {}, \
+         \"yield\": {}",
+        s.samples,
+        json_f64(s.quantile),
+        json_f64(s.quantile_slack.picos()),
+        json_f64(s.min_slack.picos()),
+        json_f64(s.max_slack.picos()),
+        json_f64(s.mean_slack.picos()),
+        json_f64(s.yield_fraction),
+    ));
+    if include_samples {
+        let rows: Vec<String> = outcome
+            .samples
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"index\": {}, \"slack_ps\": {}, \"slew_ok\": {}}}",
+                    r.index,
+                    json_f64(r.slack.picos()),
+                    r.slew_ok
+                )
+            })
+            .collect();
+        record.push_str(&format!(", \"per_sample\": [{}]", rows.join(", ")));
+    }
+    record.push('}');
+    Ok(record)
 }
 
 #[cfg(test)]
@@ -971,6 +1055,81 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("12 ms"));
+    }
+
+    #[test]
+    fn solve_params_carry_the_variation_block() {
+        let (_, op) = parse_frame(
+            r#"{"v": 1, "op": "solve", "design": "d1",
+                "variation": "wire-r normal 1 0.05\nseed 9\n",
+                "samples": 16, "quantile": 0.25}"#,
+        );
+        match op.unwrap() {
+            Op::Solve(p) => {
+                assert!(p.variation.as_deref().unwrap().contains("wire-r"));
+                assert_eq!(p.samples, Some(16));
+                assert_eq!(p.quantile, Some(0.25));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Absent block parses to None without complaint.
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "solve", "design": "d1"}"#);
+        match op.unwrap() {
+            Op::Solve(p) => {
+                assert_eq!(p.variation, None);
+                assert_eq!(p.samples, None);
+                assert_eq!(p.quantile, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let (_, op) =
+            parse_frame(r#"{"v": 1, "op": "solve", "design": "d1", "quantile": "median"}"#);
+        assert_eq!(op.unwrap_err().code(), "bad-request");
+        let (_, op) = parse_frame(r#"{"v": 1, "op": "solve", "design": "d1", "samples": -3}"#);
+        assert_eq!(op.unwrap_err().code(), "bad-request");
+    }
+
+    #[test]
+    fn variation_record_is_deterministic_json() {
+        let session = Session::new(fastbuf_buflib::BufferLibrary::paper_synthetic(8).unwrap());
+        let tree = fastbuf_netgen::RandomNetSpec {
+            sinks: 12,
+            seed: 5,
+            ..Default::default()
+        }
+        .build();
+        let spec = fastbuf_netgen::VariationSpec::gaussian(0.05, 0.3, 11);
+        let solve = |workers| {
+            session
+                .request(&tree)
+                .objective(crate::Objective::YieldTarget {
+                    samples: 6,
+                    quantile: 0.5,
+                })
+                .variation(spec.clone())
+                .workers(workers)
+                .solve()
+                .unwrap()
+        };
+        let a = solve(1);
+        let b = solve(2);
+        let ja = variation_record(&a.scenarios[0], true, true).unwrap();
+        let jb = variation_record(&b.scenarios[0], true, true).unwrap();
+        assert_eq!(ja, jb, "records must not depend on the worker count");
+        let v = Json::parse(&ja).unwrap();
+        assert_eq!(v.get("samples").and_then(Json::as_u64), Some(6));
+        assert_eq!(v.get("quantile").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(
+            v.get("per_sample").and_then(Json::as_array).unwrap().len(),
+            6
+        );
+        assert!(v.get("yield").and_then(Json::as_f64).is_some());
+        // A max-slack corner has no variation record.
+        let plain = session.request(&tree).solve().unwrap();
+        assert!(matches!(
+            variation_record(&plain.scenarios[0], false, false),
+            Err(SolveError::Unsupported { .. })
+        ));
     }
 
     #[test]

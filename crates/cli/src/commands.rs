@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use std::sync::Arc;
 
-use fastbuf_api::{parse_scenario_lines, wire, Scenario, Session, SolveError};
+use fastbuf_api::{parse_scenario_lines, wire, Objective, Scenario, Session, SolveError};
 use fastbuf_batch::BatchSolver;
 use fastbuf_buflib::units::{Microns, Seconds};
 use fastbuf_buflib::BufferLibrary;
@@ -26,13 +26,19 @@ const USAGE: &str = "usage:
   fastbuf solve     --net FILE --lib FILE [--algo lishi|lillis|lishi-permanent]
                     [--slew-limit PS] [--model elmore|scaled-elmore]
                     [--scenarios FILE] [--json FILE]
+                    [--variation FILE] [--samples N] [--quantile Q]
                     [--placements] [--stats] [--no-verify]
                     (--scenarios runs every corner of FILE; lines are
                      `name [model=M] [slew-limit-ps=N] [derate=F] [algo=A]`.
                      --model/--algo become the defaults for lines that do
                      not set their own; --slew-limit conflicts with
                      --scenarios. --json writes per-corner records in the
-                     same schema as `batch --json`.)
+                     same schema as `batch --json`.
+                     --variation runs a Monte-Carlo yield sweep instead:
+                     FILE is a `parse_variation` spec, --samples (default
+                     64) dice are solved through per-worker warm subtree
+                     caches, and the slack distribution plus the --quantile
+                     (default 0.5) slack are reported per corner.)
   fastbuf batch     (--dir DIR | --manifest FILE) --lib FILE [--algo A] [--workers N]
                     [--slew-limit PS] [--model M] [--json FILE] [--placements]
                     [--per-net] [--check] [--no-verify]
@@ -59,13 +65,15 @@ exit codes:
   solver errors map one variant to one code:
   10 no-scenarios | 11 duplicate-scenario | 12 invalid-derate
   13 invalid-slew-limit | 14 unsupported | 15 cost | 16 polarity
-  17 verify | 18 scenario-parse | 19 unknown-model | 20 edit";
+  17 verify | 18 scenario-parse | 19 unknown-model | 20 edit
+  21 no-samples | 22 invalid-quantile | 23 variation-parse
+  24 invalid-variation";
 
 /// A CLI failure: what to print on stderr and the process exit code.
 ///
 /// Usage and validation errors exit 2, I/O failures exit 3, and typed
 /// solver errors carry the distinct per-variant codes of
-/// [`SolveError::exit_code`] (10–20) — the same mapping `fastbuf --help`
+/// [`SolveError::exit_code`] (10–24) — the same mapping `fastbuf --help`
 /// documents and the server reports as kebab-case `error.code` strings.
 #[derive(Debug)]
 pub struct CliError {
@@ -499,6 +507,9 @@ fn solve(argv: &[String]) -> Result<(), CliError> {
             "model",
             "scenarios",
             "json",
+            "variation",
+            "samples",
+            "quantile",
         ],
         &["placements", "stats", "no-verify"],
     )?;
@@ -550,6 +561,15 @@ fn solve(argv: &[String]) -> Result<(), CliError> {
     // keeps the anonymous branch's improvement-vs-unbuffered print sound:
     // flag-built scenarios always share the session model and derate 1.0.)
     let named = flags.value("scenarios").is_some();
+
+    if flags.value("variation").is_some() {
+        return solve_yield(&flags, &tree, &session, scenarios, named);
+    }
+    for conflicting in ["samples", "quantile"] {
+        if flags.value(conflicting).is_some() {
+            return Err(format!("--{conflicting} needs --variation").into());
+        }
+    }
 
     let unbuffered = elmore::evaluate_with(&tree, lib, &[], &*model).map_err(|e| e.to_string())?;
     let outcome = session.request(&tree).scenarios(scenarios).solve()?;
@@ -667,6 +687,102 @@ fn solve(argv: &[String]) -> Result<(), CliError> {
     if named {
         if let Some(worst) = outcome.worst_slack() {
             println!("worst corner slack: {worst}");
+        }
+    }
+    if let Some(path) = flags.value("json") {
+        let json = format!(
+            "{{\n  \"nets\": 1,\n  \"scenarios\": {},\n  \"results\": [\n{}  ]\n}}\n",
+            outcome.scenarios.len(),
+            records
+        );
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
+            println!("json report written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `fastbuf solve --variation FILE [--samples N] [--quantile Q]`: the
+/// Monte-Carlo yield sweep. Each corner's samples are solved through
+/// per-worker warm subtree caches (the same family-cache machinery the
+/// differential harness certifies bit-identical to scratch solves), and
+/// the slack distribution is reported instead of a single slack.
+fn solve_yield(
+    flags: &Flags,
+    tree: &RoutingTree,
+    session: &Session,
+    scenarios: Vec<Scenario>,
+    named: bool,
+) -> Result<(), CliError> {
+    if flags.switch("placements") {
+        return Err(
+            "--placements is not available with --variation (yield sweeps \
+                    report slack statistics, not placements)"
+                .into(),
+        );
+    }
+    let vpath = flags.value("variation").expect("checked by the caller");
+    let text =
+        fs::read_to_string(vpath).map_err(|e| io_error(format!("cannot read `{vpath}`: {e}")))?;
+    let spec = fastbuf_api::parse_variation_spec(&text).map_err(|e| CliError {
+        code: e.exit_code(),
+        message: format!("{vpath}: {e}"),
+    })?;
+    let samples: usize = flags.parsed_or("samples", 64)?;
+    let quantile: f64 = flags.parsed_or("quantile", 0.5)?;
+
+    let outcome = session
+        .request(tree)
+        .objective(Objective::YieldTarget { samples, quantile })
+        .variation(spec)
+        .scenarios(scenarios)
+        .solve()?;
+
+    let want_json = flags.value("json").is_some();
+    let mut records = String::new();
+    for (k, corner) in outcome.scenarios.iter().enumerate() {
+        let v = corner
+            .variation()
+            .expect("yield objective produces variation outcomes");
+        let s = &v.summary;
+        let prefix = if named {
+            format!("scenario {:<12} ", corner.scenario.name)
+        } else {
+            String::new()
+        };
+        println!(
+            "{prefix}samples {:<5} yield {:>6.1}%  slack q{:.2} {}  min {}  mean {}  max {}",
+            s.samples,
+            s.yield_fraction * 100.0,
+            s.quantile,
+            s.quantile_slack,
+            s.min_slack,
+            s.mean_slack,
+            s.max_slack,
+        );
+        if flags.switch("stats") {
+            let total = s.nodes_recomputed + s.nodes_reused;
+            println!(
+                "{prefix}cache: {} subtrees recomputed, {} reused ({:.1}% reuse)",
+                s.nodes_recomputed,
+                s.nodes_reused,
+                if total > 0 {
+                    100.0 * s.nodes_reused as f64 / total as f64
+                } else {
+                    0.0
+                },
+            );
+        }
+        if want_json {
+            records.push_str("    ");
+            records.push_str(&wire::variation_record(corner, named, true)?);
+            if k + 1 < outcome.scenarios.len() {
+                records.push(',');
+            }
+            records.push('\n');
         }
     }
     if let Some(path) = flags.value("json") {
@@ -1072,6 +1188,124 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         run(&argv).unwrap();
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn yield_solve_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("fastbuf-cli-yield-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("y.net");
+        let lib = dir.join("y.lib");
+        let var = dir.join("y.var");
+        let json = dir.join("y.json");
+
+        let argv: Vec<String> = [
+            "gen",
+            "net",
+            "--kind",
+            "line",
+            "--length",
+            "8000",
+            "--sites",
+            "7",
+            "-o",
+            net.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap();
+        fs::write(
+            &var,
+            "wire-r normal 1.0 0.05\nwire-c normal 1.0 0.05\nlocality 0.5\nseed 7\n",
+        )
+        .unwrap();
+
+        let argv: Vec<String> = [
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--variation",
+            var.to_str().unwrap(),
+            "--samples",
+            "8",
+            "--quantile",
+            "0.25",
+            "--stats",
+            "--json",
+            json.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        let report = fs::read_to_string(&json).unwrap();
+        for key in [
+            "\"samples\": 8",
+            "\"quantile\": 0.25",
+            "\"quantile_slack_ps\"",
+            "\"yield\"",
+            "\"per_sample\"",
+        ] {
+            assert!(report.contains(key), "missing {key} in {report}");
+        }
+
+        // --samples / --quantile without --variation is a usage error, as
+        // is --placements in yield mode (there are no placements to show).
+        let argv: Vec<String> = [
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--samples",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&argv)
+            .unwrap_err()
+            .contains("--samples needs --variation"));
+        let argv: Vec<String> = [
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--variation",
+            var.to_str().unwrap(),
+            "--placements",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&argv).unwrap_err().contains("--placements"));
+
+        // A malformed spec is rejected with its line number.
+        fs::write(&var, "wire-r normal 1.0 -0.5\n").unwrap();
+        let argv: Vec<String> = [
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--variation",
+            var.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&argv).unwrap_err().contains("line 1"));
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -36,7 +36,7 @@
 //! and `fastbuf_buflib::BufferLibrary::{to_text, from_text}`.
 //!
 //! Exit codes are documented in `fastbuf --help`: 0 success, 2 usage or
-//! failed check, 3 I/O, and 10–20 for the typed solver errors (one
+//! failed check, 3 I/O, and 10–24 for the typed solver errors (one
 //! distinct code per `SolveError` variant).
 
 use std::process::ExitCode;

@@ -21,7 +21,7 @@
 //! and merge them into the list in O(k + b) (Theorem 2 of the paper).
 
 use fastbuf_buflib::{BufferLibrary, BufferTypeId};
-use fastbuf_rctree::{NodeId, SiteConstraint};
+use fastbuf_rctree::{NodeId, SiteConstraint, SiteVariation};
 
 use crate::arena::{PredArena, PredEntry, PredRef};
 use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
@@ -115,13 +115,21 @@ pub(crate) struct Scratch {
     pub(crate) pool: CandidatePool,
 }
 
-/// Per-buffer-type parameters hoisted out of the walk loops.
+/// Per-buffer-type parameters hoisted out of the walk loops, with the
+/// node's local process variation already folded in: `r` is scaled by
+/// `drive_scale`, `k` by `delay_scale` (input capacitance and load limit
+/// are unaffected by variation). The nominal `×1.0` is bit-exact, so a
+/// variation-free solve computes the historical values exactly.
+///
+/// Both scales apply uniformly across the library at one node, so the
+/// `by_resistance_desc` order the hull walk's Lemma 1 relies on is the
+/// same ordering after scaling.
 #[inline]
-fn params(lib: &BufferLibrary, id: BufferTypeId) -> (f64, f64, f64, f64) {
+fn params(lib: &BufferLibrary, id: BufferTypeId, variation: SiteVariation) -> (f64, f64, f64, f64) {
     let b = lib.get(id);
     (
-        b.driving_resistance().value(),
-        b.intrinsic_delay().value(),
+        b.driving_resistance().value() * variation.drive_scale(),
+        b.intrinsic_delay().value() * variation.delay_scale(),
         b.input_capacitance().value(),
         b.max_load().map_or(f64::INFINITY, |m| m.value()),
     )
@@ -135,6 +143,7 @@ pub(crate) fn add_buffers(
     lib: &BufferLibrary,
     constraint: &SiteConstraint,
     node: NodeId,
+    variation: SiteVariation,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -142,7 +151,7 @@ pub(crate) fn add_buffers(
     stats: &mut SolveStats,
 ) {
     if !find_betas(
-        algo, list, lib, constraint, node, arena, track, scratch, slew, stats,
+        algo, list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
     ) {
         return;
     }
@@ -177,6 +186,7 @@ pub(crate) fn find_betas(
     lib: &BufferLibrary,
     constraint: &SiteConstraint,
     node: NodeId,
+    variation: SiteVariation,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -193,19 +203,21 @@ pub(crate) fn find_betas(
     match algo {
         Algorithm::Lillis => {
             find_alphas_scan(
-                list, lib, constraint, node, arena, track, scratch, slew, stats,
+                list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
             );
         }
         Algorithm::LiShi => {
             if slew.active() {
                 find_alphas_scan(
-                    list, lib, constraint, node, arena, track, scratch, slew, stats,
+                    list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
                 );
             } else {
                 upper_hull_into(list.as_slice(), &mut scratch.hull);
                 stats.hull_builds += 1;
                 stats.hull_input_candidates += list.len() as u64;
-                find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+                find_alphas_walk(
+                    list, lib, constraint, node, variation, arena, track, scratch, stats,
+                );
             }
         }
         Algorithm::LiShiPermanent => {
@@ -214,14 +226,16 @@ pub(crate) fn find_betas(
             stats.convex_pruned += convex_prune_in_place(list) as u64;
             if slew.active() {
                 find_alphas_scan(
-                    list, lib, constraint, node, arena, track, scratch, slew, stats,
+                    list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
                 );
             } else {
                 stats.hull_builds += 1;
                 stats.hull_input_candidates += list.len() as u64;
                 scratch.hull.clear();
                 scratch.hull.extend(0..list.len() as u32);
-                find_alphas_walk(list, lib, constraint, node, arena, track, scratch, stats);
+                find_alphas_walk(
+                    list, lib, constraint, node, variation, arena, track, scratch, stats,
+                );
             }
         }
     }
@@ -237,6 +251,7 @@ fn find_alphas_scan(
     lib: &BufferLibrary,
     constraint: &SiteConstraint,
     node: NodeId,
+    variation: SiteVariation,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -247,7 +262,7 @@ fn find_alphas_scan(
         if !constraint.allows(id) {
             continue;
         }
-        let (r, k, c_in, max_load) = params(lib, id);
+        let (r, k, c_in, max_load) = params(lib, id, variation);
         let slew_cap = slew.type_cap(id);
         let mut best: Option<&Candidate> = None;
         for cand in list.iter() {
@@ -284,6 +299,7 @@ fn find_alphas_walk(
     lib: &BufferLibrary,
     constraint: &SiteConstraint,
     node: NodeId,
+    variation: SiteVariation,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -292,12 +308,13 @@ fn find_alphas_walk(
     let cands = list.as_slice();
     let hull = &scratch.hull;
     let mut ptr = 0usize;
-    // Lemma 1 order: non-increasing driving resistance.
+    // Lemma 1 order: non-increasing driving resistance (scaling all types
+    // by one node-local factor preserves this order).
     for &id in lib.by_resistance_desc() {
         if !constraint.allows(id) {
             continue;
         }
-        let (r, k, c_in, max_load) = params(lib, id);
+        let (r, k, c_in, max_load) = params(lib, id, variation);
         let alpha = if max_load.is_finite() {
             // Exact constrained scan (rare path).
             let mut best: Option<&Candidate> = None;
@@ -402,6 +419,7 @@ mod tests {
             library,
             &SiteConstraint::AnyBuffer,
             NodeId::new(0),
+            SiteVariation::NOMINAL,
             &mut arena,
             false,
             &mut scratch,
@@ -507,6 +525,7 @@ mod tests {
             &library,
             &constraint,
             NodeId::new(0),
+            SiteVariation::NOMINAL,
             &mut arena,
             false,
             &mut scratch,
@@ -532,6 +551,7 @@ mod tests {
             &library,
             &SiteConstraint::NotASite,
             NodeId::new(0),
+            SiteVariation::NOMINAL,
             &mut arena,
             false,
             &mut scratch,
@@ -613,6 +633,7 @@ mod tests {
                 &library,
                 &SiteConstraint::AnyBuffer,
                 NodeId::new(0),
+                SiteVariation::NOMINAL,
                 &mut arena,
                 false,
                 &mut scratch,
@@ -642,6 +663,7 @@ mod tests {
             &library,
             &SiteConstraint::AnyBuffer,
             NodeId::new(0),
+            SiteVariation::NOMINAL,
             &mut arena,
             false,
             &mut scratch,
@@ -681,6 +703,7 @@ mod tests {
                 &library,
                 &SiteConstraint::AnyBuffer,
                 NodeId::new(0),
+                SiteVariation::NOMINAL,
                 &mut arena,
                 false,
                 &mut scratch,

@@ -236,6 +236,7 @@ impl<'a> CostSolver<'a> {
                                 lib,
                                 tree.site_constraint(node),
                                 node,
+                                tree.site_variation(node),
                                 &mut arena,
                                 true,
                                 &mut scratch,

@@ -372,6 +372,7 @@ impl<'a> Solver<'a> {
                             lib,
                             tree.site_constraint(node),
                             node,
+                            tree.site_variation(node),
                             arena,
                             track,
                             scratch,

@@ -459,6 +459,7 @@ impl<'a> PolaritySolver<'a> {
                 lib,
                 constraint,
                 node,
+                self.tree.site_variation(node),
                 arena,
                 true,
                 scratch,

@@ -209,10 +209,11 @@ impl IncrementalSolver {
     /// Applies one edit, dirtying exactly the root path the edit
     /// invalidates.
     ///
-    /// * [`Edit::SetWireLength`] dirties from the **parent** of the edited
-    ///   wire's child endpoint: the child's own subtree list is computed
-    ///   below the wire and stays valid.
-    /// * Sink and site edits dirty from the edited node itself.
+    /// * [`Edit::SetWireLength`] and [`Edit::SetWireRC`] dirty from the
+    ///   **parent** of the edited wire's child endpoint: the child's own
+    ///   subtree list is computed below the wire and stays valid.
+    /// * Sink and site edits (including [`Edit::DerateSite`]) dirty from
+    ///   the edited node itself.
     /// * [`Edit::SwapLibrary`] flushes everything (see
     ///   [`IncrementalSolver::swap_library`]).
     ///
@@ -231,6 +232,30 @@ impl IncrementalSolver {
                     .parent(*node)
                     .expect("set_wire_to_parent verified a parent exists");
                 self.cache.mark_path_dirty(&self.tree, parent);
+            }
+            Edit::SetWireRC {
+                node,
+                resistance,
+                capacitance,
+            } => {
+                self.tree
+                    .set_wire_to_parent(*node, Wire::new(*resistance, *capacitance))?;
+                let parent = self
+                    .tree
+                    .parent(*node)
+                    .expect("set_wire_to_parent verified a parent exists");
+                self.cache.mark_path_dirty(&self.tree, parent);
+            }
+            Edit::DerateSite {
+                node,
+                delay_scale,
+                drive_scale,
+            } => {
+                self.tree.set_site_variation(
+                    *node,
+                    fastbuf_rctree::SiteVariation::new(*delay_scale, *drive_scale),
+                )?;
+                self.cache.mark_path_dirty(&self.tree, *node);
             }
             Edit::SetSinkRat { node, rat } => {
                 self.tree.set_sink_rat(*node, *rat)?;
@@ -540,6 +565,68 @@ mod tests {
         assert_eq!(wire.resistance(), r);
         assert_eq!(wire.capacitance(), c);
         assert_identical(&solver.solve(), &solver.solve_scratch());
+    }
+
+    #[test]
+    fn variation_edits_stay_bit_identical_and_dirty_only_their_paths() {
+        use fastbuf_buflib::units::Ohms;
+        let mut solver = IncrementalSolver::new(net(30, 11), lib8());
+        let _ = solver.solve();
+        let n = solver.tree().node_count() as u64;
+
+        // A wire-RC rewrite above a leaf keeps the leaf's list cached.
+        let sink = solver.tree().sinks().last().unwrap();
+        solver
+            .apply(&Edit::SetWireRC {
+                node: sink,
+                resistance: Ohms::new(81.25),
+                capacitance: Farads::from_femto(130.5),
+            })
+            .unwrap();
+        let inc = solver.solve();
+        assert!(inc.stats.nodes_recomputed < n);
+        assert_identical(&inc, &solver.solve_scratch());
+
+        // A site derate recomputes its root path only, and 1.0/1.0 restores
+        // the nominal solution bit-for-bit.
+        let site = solver
+            .tree()
+            .node_ids()
+            .find(|&v| solver.tree().kind(v).is_internal() && solver.tree().parent(v).is_some())
+            .unwrap();
+        let before = solver.solve();
+        solver
+            .apply(&Edit::DerateSite {
+                node: site,
+                delay_scale: 1.2,
+                drive_scale: 0.9,
+            })
+            .unwrap();
+        let derated = solver.solve();
+        assert!(derated.stats.nodes_recomputed < n);
+        assert_identical(&derated, &solver.solve_scratch());
+        solver
+            .apply(&Edit::DerateSite {
+                node: site,
+                delay_scale: 1.0,
+                drive_scale: 1.0,
+            })
+            .unwrap();
+        let restored = solver.solve();
+        assert_identical(&restored, &before);
+
+        // Invalid derates are typed rejections, not panics.
+        let err = solver
+            .apply(&Edit::DerateSite {
+                node: site,
+                delay_scale: f64::NAN,
+                drive_scale: 1.0,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EcoError::Tree(TreeError::InvalidVariation { .. })
+        ));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fastbuf_buflib::units::{Farads, Microns, Seconds};
+use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
 use fastbuf_rctree::{NodeId, NodeKind, RoutingTree};
 
 /// One typed, topology-preserving edit of an ECO script.
@@ -47,6 +47,31 @@ pub enum Edit {
         /// New load capacitance.
         cap: Farads,
     },
+    /// Replace the wire from `node` to its parent with absolute lumped
+    /// parasitics (no recorded length). This is how sampled process
+    /// variation perturbs a wire: the sampler computes absolute `R`/`C`
+    /// from the base tree, so applying sample `k`'s script always produces
+    /// the same wire regardless of which sample was applied before.
+    SetWireRC {
+        /// Child endpoint of the edited wire.
+        node: NodeId,
+        /// New lumped resistance.
+        resistance: Ohms,
+        /// New lumped capacitance.
+        capacitance: Farads,
+    },
+    /// Set the local process-variation factors at `node`: any buffer
+    /// inserted there has its intrinsic delay scaled by `delay_scale` and
+    /// its driving resistance by `drive_scale` (see
+    /// `RoutingTree::set_site_variation`). `(1.0, 1.0)` restores nominal.
+    DerateSite {
+        /// The site (inert on nodes where buffering is impossible).
+        node: NodeId,
+        /// Multiplier on intrinsic delay `K`.
+        delay_scale: f64,
+        /// Multiplier on driving resistance `R`.
+        drive_scale: f64,
+    },
     /// Forbid buffering at `node` (a blockage landed on the site).
     BlockSite {
         /// The site to block.
@@ -78,6 +103,21 @@ impl std::fmt::Display for Edit {
             }
             Edit::SetSinkRat { node, rat } => write!(f, "rat {node} {}", rat.picos()),
             Edit::SetSinkCap { node, cap } => write!(f, "cap {node} {}", cap.femtos()),
+            Edit::SetWireRC {
+                node,
+                resistance,
+                capacitance,
+            } => write!(
+                f,
+                "wirerc {node} {} {}",
+                resistance.value(),
+                capacitance.femtos()
+            ),
+            Edit::DerateSite {
+                node,
+                delay_scale,
+                drive_scale,
+            } => write!(f, "derate {node} {delay_scale} {drive_scale}"),
             Edit::BlockSite { node } => write!(f, "block {node}"),
             Edit::UnblockSite { node } => write!(f, "unblock {node}"),
             Edit::SwapLibrary { size, jitter } => write!(f, "swaplib {size} {jitter}"),
@@ -103,6 +143,8 @@ pub fn write_edits(edits: &[Edit]) -> String {
 /// wire n12 1450.5      # new length in microns
 /// rat n7 950.25        # new required arrival in ps
 /// cap n7 18.5          # new sink load in fF
+/// wirerc n12 76.5 118.25   # absolute parasitics: ohms, fF
+/// derate n5 1.08 0.96      # buffer delay x1.08, drive x0.96 at n5
 /// block n4
 /// unblock n4
 /// swaplib 16 7         # paper_synthetic_jittered(16, 7)
@@ -166,6 +208,36 @@ pub fn parse_edits(text: &str) -> Result<Vec<Edit>, String> {
                     cap: Farads::from_femto(ff),
                 }
             }
+            "wirerc" => {
+                let node = node_arg(&mut tokens)?;
+                let ohms = num_arg(&mut tokens, "resistance in ohms")?;
+                let ff = num_arg(&mut tokens, "capacitance in fF")?;
+                if ohms < 0.0 || ff < 0.0 {
+                    return Err(err(format!(
+                        "wire parasitics must be non-negative, got {ohms} / {ff}"
+                    )));
+                }
+                Edit::SetWireRC {
+                    node,
+                    resistance: Ohms::new(ohms),
+                    capacitance: Farads::from_femto(ff),
+                }
+            }
+            "derate" => {
+                let node = node_arg(&mut tokens)?;
+                let delay_scale = num_arg(&mut tokens, "delay scale")?;
+                let drive_scale = num_arg(&mut tokens, "drive scale")?;
+                if delay_scale <= 0.0 || drive_scale <= 0.0 {
+                    return Err(err(format!(
+                        "derate scales must be positive, got {delay_scale} / {drive_scale}"
+                    )));
+                }
+                Edit::DerateSite {
+                    node,
+                    delay_scale,
+                    drive_scale,
+                }
+            }
             "block" => Edit::BlockSite {
                 node: node_arg(&mut tokens)?,
             },
@@ -194,7 +266,8 @@ pub fn parse_edits(text: &str) -> Result<Vec<Edit>, String> {
             }
             other => {
                 return Err(err(format!(
-                    "unknown edit `{other}` (expected wire, rat, cap, block, unblock, swaplib)"
+                    "unknown edit `{other}` (expected wire, rat, cap, wirerc, derate, \
+                     block, unblock, swaplib)"
                 )))
             }
         };
@@ -399,6 +472,8 @@ mod tests {
                 Edit::SetWireLength { node, .. }
                 | Edit::SetSinkRat { node, .. }
                 | Edit::SetSinkCap { node, .. }
+                | Edit::SetWireRC { node, .. }
+                | Edit::DerateSite { node, .. }
                 | Edit::BlockSite { node }
                 | Edit::UnblockSite { node } => Some(*node),
                 Edit::SwapLibrary { .. } => None,
@@ -522,6 +597,20 @@ mod tests {
         assert!(err.contains("bad library size"), "{err}");
         let err = parse_edits("swaplib 4096\n").unwrap_err();
         assert!(err.contains("between 1 and 1024"), "{err}");
+        // Variation edits validate their numeric domains at parse.
+        let err = parse_edits("derate n1 0 1\n").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_edits("derate n1 1.1 nan\n").unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        let err = parse_edits("wirerc n1 -3 4\n").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let ok = parse_edits("wirerc n2 76.5 118.25\nderate n5 1.08 0.96\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(matches!(ok[0], Edit::SetWireRC { .. }));
+        assert!(
+            matches!(ok[1], Edit::DerateSite { node, delay_scale, drive_scale }
+                if node == NodeId::new(5) && delay_scale == 1.08 && drive_scale == 0.96)
+        );
         // Comments after content are stripped.
         let ok = parse_edits("block n4 # blockage from macro move\n").unwrap();
         assert_eq!(

@@ -18,7 +18,10 @@
 //!   size mix, for the batch subsystem and throughput benchmarks;
 //! * [`eco`] — typed tree [`Edit`](eco::Edit)s and deterministic
 //!   [`EditScriptSpec`](eco::EditScriptSpec) generation for incremental
-//!   (ECO) re-solve workloads, plus a text format for edit scripts.
+//!   (ECO) re-solve workloads, plus a text format for edit scripts;
+//! * [`variation`] — seeded process-variation families
+//!   ([`VariationSpec`]) that expand into
+//!   per-sample absolute edit scripts for Monte-Carlo yield solving.
 //!
 //! Everything is seeded and deterministic: the same spec always builds the
 //! same net, so benchmark tables are reproducible run to run.
@@ -39,8 +42,10 @@ pub mod eco;
 mod line;
 mod random;
 mod suite;
+pub mod variation;
 
 pub use clock::{caterpillar_net, h_tree, HTreeSpec};
 pub use line::{line_net, LineNetSpec};
 pub use random::{RandomNetSpec, RatPolicy};
 pub use suite::{heavy_tailed_sinks, SuiteSpec};
+pub use variation::{parse_variation, write_variation, Dist, VariationSpec};

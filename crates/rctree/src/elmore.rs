@@ -188,7 +188,13 @@ pub fn evaluate_with(
             let (slew0, r) = match assigned[root.index()] {
                 Some(buf) => {
                     let b = library.get(buf);
-                    (b.output_slew().value(), b.driving_resistance().value())
+                    // The stage driver's resistance is derated by its
+                    // node's local variation (nominal ×1.0 is bit-exact).
+                    let drive = tree.site_variation(root).drive_scale();
+                    (
+                        b.output_slew().value(),
+                        b.driving_resistance().value() * drive,
+                    )
                 }
                 None => (0.0, tree.driver().resistance().value()),
             };
@@ -201,10 +207,14 @@ pub fn evaluate_with(
         arrival[i] = match assigned[i] {
             Some(buf) => {
                 let b = library.get(buf);
+                // Local process variation derates this buffer's intrinsic
+                // delay and drive — the forward mirror of the DP's derated
+                // `AddBuffer` (nominal ×1.0 is bit-exact).
+                let v = tree.site_variation(node);
                 at_input
                     + Seconds::new(model.gate_delay(
-                        b.intrinsic_delay().value(),
-                        b.driving_resistance().value(),
+                        b.intrinsic_delay().value() * v.delay_scale(),
+                        b.driving_resistance().value() * v.drive_scale(),
                         load[i].value(),
                     ))
             }

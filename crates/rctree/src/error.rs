@@ -87,6 +87,12 @@ pub enum TreeError {
         /// The offending node.
         node: NodeId,
     },
+    /// A site-variation edit carried non-finite or non-positive scale
+    /// factors.
+    InvalidVariation {
+        /// The offending node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -140,6 +146,12 @@ impl fmt::Display for TreeError {
                 write!(
                     f,
                     "buffer assignment at {node} violates the site constraint"
+                )
+            }
+            TreeError::InvalidVariation { node } => {
+                write!(
+                    f,
+                    "site variation at {node} has non-finite or non-positive scales"
                 )
             }
         }

@@ -57,6 +57,6 @@ mod tree;
 
 pub use delay::{model_by_name, DelayModel, ElmoreModel, ScaledElmoreModel};
 pub use error::TreeError;
-pub use node::{NodeId, NodeKind, SiteConstraint, Wire};
+pub use node::{NodeId, NodeKind, SiteConstraint, SiteVariation, Wire};
 pub use stats::TreeStats;
 pub use tree::{RoutingTree, TreeBuilder};

@@ -106,6 +106,77 @@ impl SiteConstraint {
     }
 }
 
+/// Per-node derate factors on an inserted buffer's parameters — the
+/// tree-local encoding of local (OCV-style) process variation.
+///
+/// A buffer inserted at a node with variation `(delay_scale, drive_scale)`
+/// behaves as if its intrinsic delay were `K · delay_scale` and its driving
+/// resistance `R · drive_scale`; its input capacitance and cost are
+/// unchanged. The scales apply uniformly to every library type at the node,
+/// so the library-wide resistance ordering the hull walk relies on is
+/// preserved.
+///
+/// The nominal value is exactly `(1.0, 1.0)`, and multiplying by `1.0` is
+/// bit-exact in IEEE-754 — an all-nominal tree solves bit-identically to
+/// one predating variation support.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteVariation {
+    delay_scale: f64,
+    drive_scale: f64,
+}
+
+impl SiteVariation {
+    /// The nominal (no-variation) factors: exactly `(1.0, 1.0)`.
+    pub const NOMINAL: SiteVariation = SiteVariation {
+        delay_scale: 1.0,
+        drive_scale: 1.0,
+    };
+
+    /// Creates a variation from explicit factors. Validity (finite,
+    /// strictly positive) is checked by
+    /// [`RoutingTree::set_site_variation`](crate::RoutingTree::set_site_variation).
+    pub fn new(delay_scale: f64, drive_scale: f64) -> Self {
+        SiteVariation {
+            delay_scale,
+            drive_scale,
+        }
+    }
+
+    /// Multiplier on the intrinsic delay `K` of any buffer inserted here.
+    #[inline]
+    pub fn delay_scale(&self) -> f64 {
+        self.delay_scale
+    }
+
+    /// Multiplier on the driving resistance `R` of any buffer inserted
+    /// here.
+    #[inline]
+    pub fn drive_scale(&self) -> f64 {
+        self.drive_scale
+    }
+
+    /// `true` when both factors are exactly `1.0`.
+    #[inline]
+    pub fn is_nominal(&self) -> bool {
+        self.delay_scale == 1.0 && self.drive_scale == 1.0
+    }
+
+    /// `true` when both factors are finite and strictly positive (the
+    /// precondition every tree mutation enforces).
+    pub fn is_valid(&self) -> bool {
+        self.delay_scale.is_finite()
+            && self.drive_scale.is_finite()
+            && self.delay_scale > 0.0
+            && self.drive_scale > 0.0
+    }
+}
+
+impl Default for SiteVariation {
+    fn default() -> Self {
+        SiteVariation::NOMINAL
+    }
+}
+
 /// A wire segment: lumped resistance and capacitance, with an optional
 /// geometric length (needed by pitch-based [`segmenting`](crate::segment)).
 ///

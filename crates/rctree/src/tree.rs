@@ -4,7 +4,7 @@ use fastbuf_buflib::units::{Farads, Seconds};
 use fastbuf_buflib::Driver;
 
 use crate::error::TreeError;
-use crate::node::{NodeId, NodeKind, SiteConstraint, Wire};
+use crate::node::{NodeId, NodeKind, SiteConstraint, SiteVariation, Wire};
 use crate::stats::TreeStats;
 
 /// An immutable, validated routing tree.
@@ -20,6 +20,7 @@ use crate::stats::TreeStats;
 pub struct RoutingTree {
     kinds: Vec<NodeKind>,
     sites: Vec<SiteConstraint>,
+    variation: Vec<SiteVariation>,
     parent: Vec<Option<NodeId>>,
     wires: Vec<Wire>,
     child_start: Vec<u32>,
@@ -72,6 +73,20 @@ impl RoutingTree {
     #[inline]
     pub fn is_buffer_site(&self, node: NodeId) -> bool {
         self.sites[node.index()].is_site()
+    }
+
+    /// The local process-variation factors at `node`
+    /// ([`SiteVariation::NOMINAL`] unless edited). Only consulted where a
+    /// buffer is actually inserted; nominal everywhere reproduces the
+    /// variation-free arithmetic bit for bit.
+    #[inline]
+    pub fn site_variation(&self, node: NodeId) -> SiteVariation {
+        self.variation[node.index()]
+    }
+
+    /// `true` if any node carries a non-nominal [`SiteVariation`].
+    pub fn has_site_variation(&self) -> bool {
+        self.variation.iter().any(|v| !v.is_nominal())
     }
 
     /// The parent of `node` (`None` for the root).
@@ -234,6 +249,31 @@ impl RoutingTree {
             (false, true) => self.site_count += 1,
             _ => {}
         }
+        Ok(())
+    }
+
+    /// Replaces the process-variation factors at `node` (topology
+    /// preserving, like [`RoutingTree::set_wire_to_parent`]). The factors
+    /// derate any buffer *inserted* at `node`, so they are inert on nodes
+    /// that are not buffer sites — setting them anywhere is allowed, which
+    /// keeps variation edits independent of site block/unblock edits.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] or [`TreeError::InvalidVariation`]
+    /// (non-finite or non-positive scale factors).
+    pub fn set_site_variation(
+        &mut self,
+        node: NodeId,
+        variation: SiteVariation,
+    ) -> Result<(), TreeError> {
+        if node.index() >= self.kinds.len() {
+            return Err(TreeError::UnknownNode { node });
+        }
+        if !variation.is_valid() {
+            return Err(TreeError::InvalidVariation { node });
+        }
+        self.variation[node.index()] = variation;
         Ok(())
     }
 
@@ -507,6 +547,7 @@ impl TreeBuilder {
         Ok(RoutingTree {
             kinds: self.kinds,
             sites: self.sites,
+            variation: vec![SiteVariation::NOMINAL; n],
             parent: self.parent,
             wires: self.wires,
             child_start,

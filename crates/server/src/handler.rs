@@ -17,7 +17,7 @@ use fastbuf_api::json::{json_f64, json_str, NetRecordOwned};
 use fastbuf_api::wire::{
     self, error_frame, ok_frame, parse_frame, scenario_record, Op, SolveParams, Source,
 };
-use fastbuf_api::{parse_scenario_lines, Scenario, Session, SolveError};
+use fastbuf_api::{parse_scenario_lines, Objective, Scenario, Session, SolveError};
 use fastbuf_incremental::{parse_edits, Edit};
 use fastbuf_rctree::{io as netio, model_by_name, DelayModel, RoutingTree};
 
@@ -316,14 +316,59 @@ fn solve(
     let design = registry
         .get(&params.design)
         .ok_or_else(|| unknown_design(&params.design))?;
+    if params.variation.is_none() {
+        for (name, present) in [
+            ("samples", params.samples.is_some()),
+            ("quantile", params.quantile.is_some()),
+        ] {
+            if present {
+                return Err(HandlerError::new(
+                    "bad-request",
+                    format!("\"{name}\" needs a \"variation\" block"),
+                ));
+            }
+        }
+    }
     let scenarios = build_scenarios(params)?;
     let named = params.scenarios.is_some();
     // Snapshot the tree, then drop the lock: concurrent solves against
-    // one design proceed in parallel; only ECO edits serialize.
+    // one design proceed in parallel; only ECO edits serialize. A
+    // variation solve samples from this snapshot alone, so an ECO edit
+    // committed mid-request can never bleed into its sample family.
     let tree: Arc<RoutingTree> = {
         let state = design.state.read().expect("design lock poisoned");
         Arc::clone(&state.tree)
     };
+    if let Some(spec_text) = &params.variation {
+        let spec = fastbuf_api::parse_variation_spec(spec_text)?;
+        let samples = params.samples.unwrap_or(64) as usize;
+        let quantile = params.quantile.unwrap_or(0.5);
+        let outcome = design
+            .session
+            .request(&tree)
+            .objective(Objective::YieldTarget { samples, quantile })
+            .variation(spec)
+            .scenarios(scenarios)
+            .workers(1)
+            .solve()?;
+        let records = outcome
+            .scenarios
+            .iter()
+            .map(|corner| wire::variation_record(corner, named, true).map_err(HandlerError::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        check_deadline(deadline, received, "completed late")?;
+        return Ok(format!(
+            "{{\"design\": {}, \"scenarios\": {}, \"worst_slack_ps\": {}, \"elapsed_us\": {}, \
+             \"results\": [{}]}}",
+            json_str(&params.design),
+            records.len(),
+            outcome
+                .worst_slack()
+                .map_or_else(|| "null".to_owned(), |s| json_f64(s.picos())),
+            json_f64(outcome.elapsed.as_secs_f64() * 1e6),
+            records.join(", ")
+        ));
+    }
     // One workspace per request — cross-request parallelism comes from
     // the server's worker pool, not from fanning out inside a request.
     let outcome = design
@@ -391,6 +436,12 @@ fn eco(
     // ECO commits atomically once started, so the deadline is enforced
     // at admission only (see docs/PROTOCOL.md).
     check_deadline(deadline, received, "not started")?;
+    if params.variation.is_some() || params.samples.is_some() || params.quantile.is_some() {
+        return Err(HandlerError::new(
+            "bad-request",
+            "variation solves go through op \"solve\"; \"eco\" commits one deterministic tree",
+        ));
+    }
     let design = registry
         .get(&params.design)
         .ok_or_else(|| unknown_design(&params.design))?;

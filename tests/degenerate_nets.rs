@@ -300,3 +300,165 @@ fn unbuffered_degenerate_slack_matches_oracle() {
         );
     }
 }
+
+/// Variation-aware rows of the audit: degenerate yield requests fail with
+/// *typed* errors (never a panic), statistically hopeless families report
+/// honest numbers, and malformed specs are rejected at parse time with
+/// their line number.
+#[test]
+fn degenerate_yield_requests_fail_typed_never_panic() {
+    use fastbuf::netgen::VariationSpec;
+
+    let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+    let tree = netgen::line_net(Microns::new(8_000.0), 6);
+    let spec = VariationSpec::gaussian(0.05, 0.5, 11);
+
+    // Zero samples is a request error, not a panic in the quantile math.
+    let err = session
+        .request(&tree)
+        .objective(Objective::YieldTarget {
+            samples: 0,
+            quantile: 0.5,
+        })
+        .variation(spec.clone())
+        .solve()
+        .unwrap_err();
+    assert!(matches!(err, SolveError::NoSamples), "{err}");
+
+    // A quantile outside (0, 1] is equally typed.
+    for quantile in [0.0, -0.25, 1.5, f64::NAN] {
+        let err = session
+            .request(&tree)
+            .objective(Objective::YieldTarget {
+                samples: 8,
+                quantile,
+            })
+            .variation(spec.clone())
+            .solve()
+            .unwrap_err();
+        assert!(
+            matches!(err, SolveError::InvalidQuantile { .. }),
+            "quantile {quantile}: {err}"
+        );
+    }
+
+    // A yield objective without a variation block samples the default
+    // spec — all knobs fixed — so every sample is the nominal solve.
+    let outcome = session
+        .request(&tree)
+        .objective(Objective::YieldTarget {
+            samples: 4,
+            quantile: 0.5,
+        })
+        .solve()
+        .unwrap();
+    let nominal = session.request(&tree).solve().unwrap();
+    let nominal_bits = nominal.scenarios[0]
+        .solution()
+        .unwrap()
+        .slack
+        .value()
+        .to_bits();
+    let v = outcome.scenarios[0].variation().unwrap();
+    assert!(v
+        .samples
+        .iter()
+        .all(|s| s.slack.value().to_bits() == nominal_bits));
+
+    // An out-of-domain spec built programmatically (negative sigma) is
+    // caught before any sampling starts.
+    let mut bad = VariationSpec::gaussian(0.05, 0.5, 1);
+    bad.wire_r = fastbuf::netgen::Dist::Normal {
+        mean: 1.0,
+        sigma: -0.5,
+    };
+    let err = session
+        .request(&tree)
+        .objective(Objective::YieldTarget {
+            samples: 8,
+            quantile: 0.5,
+        })
+        .variation(bad)
+        .solve()
+        .unwrap_err();
+    assert!(matches!(err, SolveError::InvalidVariation(_)), "{err}");
+}
+
+/// An unachievable slew limit makes every sample infeasible: the sweep
+/// must report `yield 0.0` with `slew_ok = false` on each sample — honest
+/// statistics, not a panic and not a fake pass.
+#[test]
+fn all_samples_slew_infeasible_reports_zero_yield() {
+    use fastbuf::netgen::VariationSpec;
+
+    let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+    let tree = netgen::line_net(Microns::new(12_000.0), 8);
+    let outcome = session
+        .request(&tree)
+        .objective(Objective::YieldTarget {
+            samples: 8,
+            quantile: 0.5,
+        })
+        .variation(VariationSpec::gaussian(0.08, 0.5, 3))
+        .scenarios(vec![
+            Scenario::named("hopeless").slew_limit(Seconds::from_pico(0.001))
+        ])
+        .solve()
+        .unwrap();
+    let v = outcome.scenarios[0].variation().unwrap();
+    assert_eq!(v.summary.yield_fraction, 0.0);
+    assert!(v.samples.iter().all(|s| !s.slew_ok));
+    // The distribution itself is still populated and finite.
+    assert!(v.summary.min_slack.value().is_finite());
+    assert!(v.summary.quantile_slack.value().is_finite());
+}
+
+/// Yield solves on nets with zero buffer sites degrade to evaluating the
+/// bare sampled trees — still a distribution, still no panic.
+#[test]
+fn siteless_nets_still_yield_a_distribution() {
+    use fastbuf::netgen::VariationSpec;
+
+    let session = Session::new(BufferLibrary::paper_synthetic(4).unwrap());
+    for (name, tree) in degenerate_nets() {
+        if tree.buffer_site_count() != 0 || tree.node_count() < 2 {
+            continue;
+        }
+        let outcome = session
+            .request(&tree)
+            .objective(Objective::YieldTarget {
+                samples: 4,
+                quantile: 0.5,
+            })
+            .variation(VariationSpec::gaussian(0.05, 1.0, 9))
+            .solve()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let v = outcome.scenarios[0].variation().unwrap();
+        assert_eq!(v.samples.len(), 4, "{name}");
+    }
+}
+
+/// Malformed variation text is rejected at parse time, with the offending
+/// line number — NaN parameters, negative sigma, inverted uniform bounds,
+/// and out-of-range locality all name their line.
+#[test]
+fn malformed_variation_specs_are_rejected_with_line_numbers() {
+    use fastbuf::api::parse_variation_spec;
+
+    for (line_no, text) in [
+        (1, "wire-r normal 1.0 -0.05\n"),
+        (1, "wire-r normal NaN 0.05\n"),
+        (2, "wire-r normal 1.0 0.05\nwire-c uniform 1.2 0.8\n"),
+        (3, "# comment\nseed 5\nlocality 2.0\n"),
+        (2, "seed 5\nsink-cap normal 1.0 0.05 extra\n"),
+        (1, "wire-r gaussian 1.0 0.05\n"),
+    ] {
+        let err = parse_variation_spec(text).unwrap_err();
+        match err {
+            SolveError::VariationParse { line, ref message } => {
+                assert_eq!(line, line_no, "{text:?}: {message}");
+            }
+            other => panic!("{text:?}: expected a parse error, got {other}"),
+        }
+    }
+}
