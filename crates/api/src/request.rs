@@ -94,6 +94,7 @@ pub struct SolveRequest<'a> {
     scenarios: Option<Vec<Scenario>>,
     track_predecessors: bool,
     workers: Option<NonZeroUsize>,
+    intra_net_workers: usize,
     variation: Option<VariationSpec>,
 }
 
@@ -106,6 +107,7 @@ impl<'a> SolveRequest<'a> {
             scenarios: None,
             track_predecessors: true,
             workers: None,
+            intra_net_workers: 1,
             variation: None,
         }
     }
@@ -157,6 +159,19 @@ impl<'a> SolveRequest<'a> {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(NonZeroUsize::new(workers.max(1)).expect("max(1) is nonzero"));
+        self
+    }
+
+    /// Sets the *intra-net* worker count for [`Objective::MaxSlack`]
+    /// scenarios: sibling subtrees of one net solved concurrently, joined
+    /// in deterministic tree order (bit-identical at every count — see
+    /// [`fastbuf_core::SolverOptions::intra_net_workers`]). Orthogonal to
+    /// [`SolveRequest::workers`], which fans out across scenarios; the two
+    /// multiply, so `workers(4).intra_net_workers(2)` can occupy 8 threads.
+    /// Ignored by the other objectives and by cached (ECO/yield) solves.
+    #[must_use]
+    pub fn intra_net_workers(mut self, workers: usize) -> Self {
+        self.intra_net_workers = workers.max(1);
         self
     }
 
@@ -348,6 +363,7 @@ impl<'a> SolveRequest<'a> {
                 let mut solver = Solver::new(tree, library)
                     .algorithm(algorithm)
                     .track_predecessors(self.track_predecessors)
+                    .intra_net_workers(self.intra_net_workers)
                     .delay_model(Arc::clone(&model));
                 if let Some(limit) = scenario.slew_limit {
                     solver = solver.slew_limit(limit);

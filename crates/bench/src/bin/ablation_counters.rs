@@ -11,7 +11,7 @@
 
 use fastbuf_bench::{paper_net, print_table, HarnessOptions, PAPER_LIB_SIZES};
 use fastbuf_buflib::BufferLibrary;
-use fastbuf_core::{Algorithm, Solver};
+use fastbuf_core::{Algorithm, Kernel, Solver};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -66,5 +66,41 @@ fn main() {
     );
     println!(
         "\nLillis' AddBuffer work scales ~b; Li-Shi's is nearly flat in b (O(k+b) vs O(k*b))."
+    );
+
+    // Slab-kernel counters: how much candidate traffic the struct-of-arrays
+    // layout moves (scanned = elements read by lane sweeps, pruned =
+    // dominated elements dropped in those sweeps, bytes peak = high-water
+    // slab footprint), plus how many sibling subtrees the intra-net mode
+    // forks when 2 workers are requested. Machine-independent like the
+    // table above — these are the numbers behind `BENCH_kernel.json`.
+    println!("\n# Slab kernel counters (Li-Shi, intra-net workers = 2)\n");
+    let mut rows = Vec::new();
+    for &b in &PAPER_LIB_SIZES {
+        let lib = BufferLibrary::paper_synthetic(b).expect("b > 0");
+        let stats = Solver::new(&tree, &lib)
+            .algorithm(Algorithm::LiShi)
+            .track_predecessors(false)
+            .kernel(Kernel::Slab)
+            .intra_net_workers(2)
+            .solve()
+            .stats;
+        rows.push(vec![
+            b.to_string(),
+            format!("{:.2e}", stats.slab_candidates_scanned as f64),
+            format!("{:.2e}", stats.slab_candidates_pruned as f64),
+            format!("{:.1} KiB", stats.slab_bytes_peak as f64 / 1024.0),
+            stats.parallel_subtrees.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "b",
+            "slab scanned",
+            "slab pruned",
+            "slab bytes peak",
+            "parallel subtrees",
+        ],
+        &rows,
     );
 }

@@ -143,6 +143,10 @@ fn main() {
     print_table(&["workers", "wall time", "nets/sec", "speedup vs 1"], &rows);
 
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
     json.push_str(&format!("  \"nets\": {},\n", nets.len()));
     json.push_str(&format!("  \"total_sites\": {total_sites},\n"));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));

@@ -219,6 +219,10 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
+    json.push_str(&format!(
         "  \"net\": {{\"sinks\": {}, \"sites\": {}, \"nodes\": {}}},\n",
         tree.sink_count(),
         tree.buffer_site_count(),

@@ -210,6 +210,10 @@ fn main() {
     );
 
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
     json.push_str(&format!("  \"nets\": {},\n", nets.len()));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"repeats\": {},\n", opts.repeats));

@@ -289,6 +289,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
     json.push_str(&format!("  \"sinks\": {},\n", tree.sink_count()));
     json.push_str(&format!("  \"sites\": {},\n", tree.buffer_site_count()));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));

@@ -154,6 +154,10 @@ fn main() {
     );
 
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
     json.push_str(&format!("  \"nets\": {},\n", nets.len()));
     json.push_str(&format!("  \"max_sinks\": {},\n", opts.max_sinks));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));

@@ -268,6 +268,10 @@ fn main() {
     println!("\npeak speedup: {peak:.2}x");
 
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
     json.push_str(&format!("  \"suite_nets\": {},\n", opts.nets));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"sigma\": {},\n", opts.sigma));

@@ -97,6 +97,49 @@ impl HarnessOptions {
     }
 }
 
+/// Hardware thread count of the machine running the benchmark, as stamped
+/// into every `BENCH_*.json` so recorded numbers are self-describing (a
+/// 1-thread container and a 32-thread workstation produce very different
+/// scaling rows). Falls back to 1 when the OS cannot say.
+pub fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Nanoseconds the calling thread has spent on-CPU
+/// (`clock_gettime(CLOCK_THREAD_CPUTIME_ID)`). Unlike wall clocks this is
+/// immune to preemption by other tenants of a shared machine, so
+/// single-threaded kernel comparisons stay meaningful under load. The
+/// workspace links no libc, so on x86_64 Linux the clock is read with a
+/// raw `clock_gettime` syscall; elsewhere this returns `None` and callers
+/// should fall back to wall time.
+pub fn thread_cpu_ns() -> Option<u64> {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const SYS_CLOCK_GETTIME: i64 = 228;
+        const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+        let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+        let ret: i64;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_CLOCK_GETTIME => ret,
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") ts.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        (ret == 0).then(|| ts[0] as u64 * 1_000_000_000 + ts[1] as u64)
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        None
+    }
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");

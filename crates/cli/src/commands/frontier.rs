@@ -1,0 +1,35 @@
+//! `fastbuf frontier`: the slack-vs-cost Pareto frontier.
+
+use fastbuf_api::SolveError;
+use fastbuf_core::cost::CostSolver;
+
+use super::{load_lib, load_net, CliError};
+use crate::args::Flags;
+
+pub(super) fn frontier(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(argv, &["net", "lib", "max-cost"], &[])?;
+    let tree = load_net(&flags)?;
+    let lib = load_lib(&flags)?;
+    let max_cost = flags.parsed_or("max-cost", 64u32)?;
+    let frontier = CostSolver::new(&tree, &lib)
+        .max_cost(max_cost)
+        .solve()
+        .map_err(|e| CliError::from(SolveError::Cost(e)))?;
+    println!("{:>8} {:>9} {:>16}", "cost", "buffers", "slack");
+    for p in &frontier.points {
+        println!(
+            "{:>8} {:>9} {:>16}",
+            p.cost,
+            p.placements.len(),
+            p.slack.to_string()
+        );
+    }
+    let base = frontier.points.first().expect("never empty");
+    let best = frontier.points.last().expect("never empty");
+    println!(
+        "\nimprovement {} over unbuffered at cost {}",
+        best.slack - base.slack,
+        best.cost
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! `fastbuf gen net|lib|suite`: synthetic net, library, and benchmark-suite
+//! generation.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fastbuf_buflib::units::Microns;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_netgen::{caterpillar_net, h_tree, line_net, HTreeSpec, RandomNetSpec, SuiteSpec};
+use fastbuf_rctree::io as netio;
+
+use super::{emit, io_error, CliError};
+use crate::args::Flags;
+
+pub(super) fn gen_net(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        argv,
+        &[
+            "kind", "sinks", "sites", "seed", "pitch", "length", "levels", "o",
+        ],
+        &[],
+    )?;
+    let kind = flags.value("kind").unwrap_or("random");
+    let tree = match kind {
+        "random" => {
+            let sinks = flags.parsed_or("sinks", 64usize)?;
+            let mut spec = RandomNetSpec {
+                seed: flags.parsed_or("seed", 1u64)?,
+                ..RandomNetSpec::paper(sinks)
+            };
+            if let Some(p) = flags.value("pitch") {
+                let p: f64 = p.parse().map_err(|_| "bad --pitch".to_string())?;
+                spec.site_pitch = Some(Microns::new(p));
+            }
+            spec.build()
+        }
+        "line" => line_net(
+            Microns::new(flags.parsed_or("length", 10_000.0f64)?),
+            flags.parsed_or("sites", 99usize)?,
+        ),
+        "htree" => {
+            let levels = flags.parsed_or("levels", 3usize)?;
+            match flags.value("pitch") {
+                None => h_tree(levels),
+                Some(p) => {
+                    let p: f64 = p.parse().map_err(|_| "bad --pitch".to_string())?;
+                    HTreeSpec {
+                        levels,
+                        site_pitch: Some(Microns::new(p)),
+                        ..HTreeSpec::default()
+                    }
+                    .build()
+                }
+            }
+        }
+        "caterpillar" => caterpillar_net(
+            flags.parsed_or("sinks", 32usize)?,
+            Microns::new(flags.parsed_or("pitch", 400.0f64)?),
+            Microns::new(40.0),
+        ),
+        other => return Err(format!("unknown net kind `{other}`").into()),
+    };
+    emit(&flags, &netio::write(&tree))
+}
+
+pub(super) fn gen_lib(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(argv, &["size", "jitter", "o"], &[])?;
+    let size = flags.parsed_or("size", 16usize)?;
+    let lib = match flags.value("jitter") {
+        None => BufferLibrary::paper_synthetic(size),
+        Some(seed) => {
+            let seed: u64 = seed.parse().map_err(|_| "bad --jitter".to_string())?;
+            BufferLibrary::paper_synthetic_jittered(size, seed)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    emit(&flags, &lib.to_text())
+}
+
+pub(super) fn gen_suite(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        argv,
+        &["out-dir", "nets", "max-sinks", "seed", "pitch"],
+        &["slew-stress"],
+    )?;
+    let dir = PathBuf::from(flags.required("out-dir")?);
+    let spec = SuiteSpec {
+        nets: flags.parsed_or("nets", 100usize)?,
+        max_sinks: flags.parsed_or("max-sinks", 256usize)?,
+        seed: flags.parsed_or("seed", 1u64)?,
+        site_pitch: Microns::new(flags.parsed_or("pitch", 200.0f64)?),
+        slew_stress: flags.switch("slew-stress"),
+    };
+    if spec.nets == 0 {
+        return Err("--nets must be at least 1".into());
+    }
+    if spec.max_sinks < 8 {
+        return Err("--max-sinks must be at least 8".into());
+    }
+    fs::create_dir_all(&dir)
+        .map_err(|e| io_error(format!("cannot create `{}`: {e}", dir.display())))?;
+    for i in 0..spec.nets {
+        let tree = spec.build_net(i);
+        let path = dir.join(format!("net{i:05}.net"));
+        fs::write(&path, netio::write(&tree))
+            .map_err(|e| io_error(format!("cannot write `{}`: {e}", path.display())))?;
+    }
+    println!(
+        "wrote {} nets (seed {}, max {} sinks) to {}",
+        spec.nets,
+        spec.seed,
+        spec.max_sinks,
+        dir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! `fastbuf info`: net statistics and unbuffered slack.
+
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_rctree::elmore;
+
+use super::{load_net, CliError};
+use crate::args::Flags;
+
+pub(super) fn info(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(argv, &["net"], &[])?;
+    let tree = load_net(&flags)?;
+    println!("{}", tree.stats());
+    let report =
+        elmore::evaluate(&tree, &BufferLibrary::empty(), &[]).map_err(|e| e.to_string())?;
+    println!(
+        "unbuffered slack: {} (critical sink {})",
+        report.slack, report.critical_sink
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! `fastbuf serve`: the resident solve server (TCP or stdio).
+
+use std::fs;
+
+use fastbuf_api::Session;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_rctree::io as netio;
+
+use super::{io_error, load_model, CliError, USAGE};
+use crate::args::Flags;
+
+pub(super) fn serve(argv: &[String]) -> Result<(), CliError> {
+    use fastbuf_server::{Server, ServerConfig};
+
+    let flags = Flags::parse(
+        argv,
+        &[
+            "port",
+            "host",
+            "workers",
+            "max-designs",
+            "max-inflight",
+            "deadline-ms",
+            "preload",
+            "model",
+        ],
+        &["stdio"],
+    )?;
+
+    let mut config = ServerConfig::default();
+    if let Some(w) = flags.value("workers") {
+        let w: usize = w.parse().map_err(|_| "bad --workers".to_string())?;
+        if w == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+        config.workers = w;
+    }
+    config.max_designs = flags.parsed_or("max-designs", config.max_designs)?;
+    if config.max_designs == 0 {
+        return Err("--max-designs must be at least 1".into());
+    }
+    config.max_inflight = flags.parsed_or("max-inflight", config.max_inflight)?;
+    if config.max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    if let Some(ms) = flags.value("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+        config.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+
+    let server = Server::new(config);
+    if let Some(spec) = flags.value("preload") {
+        // `--preload ID=NET,LIB`: make a design resident before the first
+        // client connects (cold-load latency paid once, at startup).
+        let (id, files) = spec.split_once('=').ok_or("--preload expects ID=NET,LIB")?;
+        let (net_path, lib_path) = files
+            .split_once(',')
+            .ok_or("--preload expects ID=NET,LIB")?;
+        let text = fs::read_to_string(net_path)
+            .map_err(|e| io_error(format!("cannot read `{net_path}`: {e}")))?;
+        let tree = netio::parse(&text).map_err(|e| format!("{net_path}: {e}"))?;
+        let text = fs::read_to_string(lib_path)
+            .map_err(|e| io_error(format!("cannot read `{lib_path}`: {e}")))?;
+        let lib = BufferLibrary::from_text(&text).map_err(|e| format!("{lib_path}: {e}"))?;
+        let model = load_model(&flags)?;
+        let session = Session::builder(lib).delay_model(model).build();
+        server.registry().load(id, session, tree);
+        eprintln!("fastbuf serve: preloaded design `{id}`");
+    }
+
+    // Status lines go to stderr: in stdio mode stdout *is* the protocol
+    // stream, and keeping TCP mode symmetric costs nothing.
+    match (flags.switch("stdio"), flags.value("port")) {
+        (true, Some(_)) => Err("give either --stdio or --port, not both".into()),
+        (true, None) => {
+            eprintln!("fastbuf serve: speaking v1 frames on stdin/stdout");
+            server.serve_stdio();
+            Ok(())
+        }
+        (false, Some(p)) => {
+            let port: u16 = p.parse().map_err(|_| "bad --port".to_string())?;
+            let host = flags.value("host").unwrap_or("127.0.0.1");
+            let listener = std::net::TcpListener::bind((host, port))
+                .map_err(|e| io_error(format!("cannot bind {host}:{port}: {e}")))?;
+            if let Ok(addr) = listener.local_addr() {
+                eprintln!("fastbuf serve: listening on {addr}");
+            }
+            server
+                .serve_tcp(listener)
+                .map_err(|e| io_error(format!("serve: {e}")))
+        }
+        (false, None) => Err(format!("`serve` needs --stdio or --port\n{USAGE}").into()),
+    }
+}

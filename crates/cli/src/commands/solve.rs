@@ -1,0 +1,334 @@
+//! `fastbuf solve`: single-net solving — plain, multi-corner scenario
+//! files, and Monte-Carlo yield sweeps.
+
+use std::fs;
+use std::sync::Arc;
+
+use fastbuf_api::{parse_scenario_lines, wire, Objective, Scenario, Session};
+use fastbuf_core::Algorithm;
+use fastbuf_rctree::{elmore, RoutingTree};
+
+use super::{io_error, load_lib, load_model, load_net, load_slew_limit, CliError};
+use crate::args::Flags;
+
+pub(super) fn solve(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        argv,
+        &[
+            "net",
+            "lib",
+            "algo",
+            "slew-limit",
+            "model",
+            "scenarios",
+            "json",
+            "variation",
+            "samples",
+            "quantile",
+            "intra-workers",
+        ],
+        &["placements", "stats", "no-verify"],
+    )?;
+    let net_path = flags.required("net")?.to_owned();
+    let tree = load_net(&flags)?;
+    let lib = load_lib(&flags)?;
+    let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
+    let model = load_model(&flags)?;
+    let slew_limit = load_slew_limit(&flags)?;
+    let intra_workers = match flags.value("intra-workers") {
+        None => 1,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("flag `--intra-workers`: cannot parse `{v}`"))?;
+            if n == 0 {
+                return Err("--intra-workers must be at least 1".into());
+            }
+            n
+        }
+    };
+
+    // Everything below goes through the unified request layer: one
+    // session, one request, one scenario per corner.
+    let session = Session::builder(lib)
+        .delay_model(Arc::clone(&model))
+        .build();
+    let lib = session.library();
+
+    let scenarios = match flags.value("scenarios") {
+        None => {
+            let mut scenario = Scenario::default().algorithm(algo);
+            if let Some(limit) = slew_limit {
+                scenario = scenario.slew_limit(limit);
+            }
+            vec![scenario]
+        }
+        Some(path) => {
+            if slew_limit.is_some() {
+                return Err(
+                    "--slew-limit conflicts with --scenarios; put `slew-limit-ps=` on the \
+                     scenario lines instead"
+                        .into(),
+                );
+            }
+            let text = fs::read_to_string(path)
+                .map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
+            // The shared corner-file path (`api::parse_scenario_lines`):
+            // the server's `scenarios` frames go through the same parser,
+            // with --algo as the default for lines without their own
+            // `algo=`.
+            parse_scenario_lines(&text, Some(algo), None).map_err(|e| CliError {
+                code: e.exit_code(),
+                message: format!("{path}: {e}"),
+            })?
+        }
+    };
+    // Corner files get named, table-style output and `"scenario"` keys in
+    // JSON — even when the file happens to contain a single corner, so
+    // downstream tooling keyed on scenario names never breaks. (This also
+    // keeps the anonymous branch's improvement-vs-unbuffered print sound:
+    // flag-built scenarios always share the session model and derate 1.0.)
+    let named = flags.value("scenarios").is_some();
+
+    if flags.value("variation").is_some() {
+        return solve_yield(&flags, &tree, &session, scenarios, named);
+    }
+    for conflicting in ["samples", "quantile"] {
+        if flags.value(conflicting).is_some() {
+            return Err(format!("--{conflicting} needs --variation").into());
+        }
+    }
+
+    let unbuffered = elmore::evaluate_with(&tree, lib, &[], &*model).map_err(|e| e.to_string())?;
+    let outcome = session
+        .request(&tree)
+        .scenarios(scenarios)
+        .intra_net_workers(intra_workers)
+        .solve()?;
+
+    if !flags.switch("no-verify") {
+        // Each corner is re-measured under its own model and derate.
+        outcome.verify(&tree, lib)?;
+    }
+
+    println!("unbuffered slack: {}", unbuffered.slack);
+    let want_json = flags.value("json").is_some();
+    let mut records = String::new();
+    for (k, corner) in outcome.scenarios.iter().enumerate() {
+        let solution = corner
+            .solution()
+            .expect("solve command always asks for max slack");
+        let scenario = &corner.scenario;
+        // The corner's record in the shared wire schema (`api::wire`) —
+        // the exact serializer the server and `batch --json` go through.
+        // It re-measures this corner under its own model and derate
+        // (ground-truth worst slew, same definition as `batch`), so it is
+        // only built when something consumes it: a slew limit to check,
+        // or a JSON report to write.
+        let record = if scenario.slew_limit.is_some() || want_json {
+            Some(wire::scenario_record(
+                &net_path,
+                0,
+                &tree,
+                lib,
+                corner,
+                named,
+                flags.switch("placements"),
+            )?)
+        } else {
+            None
+        };
+        let measured_slew = record.as_ref().map(|r| r.max_slew);
+        // The hard cross-check runs for *every* corner with a limit: a
+        // corner reported feasible must measure within its limit.
+        if let (Some(limit), Some(measured)) = (scenario.slew_limit, measured_slew) {
+            if solution.slew_ok && measured.value() > limit.value() * (1.0 + 1e-9) {
+                return Err(format!(
+                    "scenario `{}`: slew check failed: measured {} over the {} limit",
+                    scenario.name, measured, limit
+                )
+                .into());
+            }
+        }
+        if named {
+            println!(
+                "scenario {:<12} algo {:<16} model {:<13} derate {:<5} slack {}  buffers {}{}",
+                scenario.name,
+                corner.algorithm,
+                corner.model.name(),
+                scenario.rat_derate,
+                solution.slack,
+                solution.placements.len(),
+                if solution.slew_ok {
+                    ""
+                } else {
+                    "  [SLEW INFEASIBLE]"
+                },
+            );
+        } else {
+            println!("algorithm:        {}", corner.algorithm);
+            println!("delay model:      {}", corner.model.name());
+            println!(
+                "buffered slack:   {}  (improvement {})",
+                solution.slack,
+                solution.slack - unbuffered.slack
+            );
+            println!(
+                "buffers inserted: {}  (total cost {:.0})",
+                solution.placements.len(),
+                solution.total_cost(lib)
+            );
+            if let (Some(limit), Some(measured)) = (scenario.slew_limit, measured_slew) {
+                println!(
+                    "slew:             worst {} against limit {}{}",
+                    measured,
+                    limit,
+                    if solution.slew_ok {
+                        ""
+                    } else {
+                        "  [INFEASIBLE: best effort]"
+                    }
+                );
+            }
+            if !flags.switch("no-verify") {
+                println!("verified:         forward evaluation matches each corner");
+            }
+        }
+        if flags.switch("placements") {
+            for p in &solution.placements {
+                println!("  {} {}", p.node, lib.get(p.buffer).name());
+            }
+        }
+        if flags.switch("stats") {
+            println!("stats: {}", solution.stats);
+        }
+        if want_json {
+            // `record.slack_before` was re-measured under *this corner's*
+            // model and derate, so `slack_after − slack_before` is the
+            // buffering improvement in every corner, never a model/derate
+            // artifact.
+            let record = record.as_ref().expect("built whenever want_json");
+            records.push_str("    ");
+            records.push_str(&record.to_json());
+            if k + 1 < outcome.scenarios.len() {
+                records.push(',');
+            }
+            records.push('\n');
+        }
+    }
+    if named {
+        if let Some(worst) = outcome.worst_slack() {
+            println!("worst corner slack: {worst}");
+        }
+    }
+    if let Some(path) = flags.value("json") {
+        let json = format!(
+            "{{\n  \"nets\": 1,\n  \"scenarios\": {},\n  \"results\": [\n{}  ]\n}}\n",
+            outcome.scenarios.len(),
+            records
+        );
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
+            println!("json report written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `fastbuf solve --variation FILE [--samples N] [--quantile Q]`: the
+/// Monte-Carlo yield sweep. Each corner's samples are solved through
+/// per-worker warm subtree caches (the same family-cache machinery the
+/// differential harness certifies bit-identical to scratch solves), and
+/// the slack distribution is reported instead of a single slack.
+fn solve_yield(
+    flags: &Flags,
+    tree: &RoutingTree,
+    session: &Session,
+    scenarios: Vec<Scenario>,
+    named: bool,
+) -> Result<(), CliError> {
+    if flags.switch("placements") {
+        return Err(
+            "--placements is not available with --variation (yield sweeps \
+                    report slack statistics, not placements)"
+                .into(),
+        );
+    }
+    let vpath = flags.value("variation").expect("checked by the caller");
+    let text =
+        fs::read_to_string(vpath).map_err(|e| io_error(format!("cannot read `{vpath}`: {e}")))?;
+    let spec = fastbuf_api::parse_variation_spec(&text).map_err(|e| CliError {
+        code: e.exit_code(),
+        message: format!("{vpath}: {e}"),
+    })?;
+    let samples: usize = flags.parsed_or("samples", 64)?;
+    let quantile: f64 = flags.parsed_or("quantile", 0.5)?;
+
+    let outcome = session
+        .request(tree)
+        .objective(Objective::YieldTarget { samples, quantile })
+        .variation(spec)
+        .scenarios(scenarios)
+        .solve()?;
+
+    let want_json = flags.value("json").is_some();
+    let mut records = String::new();
+    for (k, corner) in outcome.scenarios.iter().enumerate() {
+        let v = corner
+            .variation()
+            .expect("yield objective produces variation outcomes");
+        let s = &v.summary;
+        let prefix = if named {
+            format!("scenario {:<12} ", corner.scenario.name)
+        } else {
+            String::new()
+        };
+        println!(
+            "{prefix}samples {:<5} yield {:>6.1}%  slack q{:.2} {}  min {}  mean {}  max {}",
+            s.samples,
+            s.yield_fraction * 100.0,
+            s.quantile,
+            s.quantile_slack,
+            s.min_slack,
+            s.mean_slack,
+            s.max_slack,
+        );
+        if flags.switch("stats") {
+            let total = s.nodes_recomputed + s.nodes_reused;
+            println!(
+                "{prefix}cache: {} subtrees recomputed, {} reused ({:.1}% reuse)",
+                s.nodes_recomputed,
+                s.nodes_reused,
+                if total > 0 {
+                    100.0 * s.nodes_reused as f64 / total as f64
+                } else {
+                    0.0
+                },
+            );
+        }
+        if want_json {
+            records.push_str("    ");
+            records.push_str(&wire::variation_record(corner, named, true)?);
+            if k + 1 < outcome.scenarios.len() {
+                records.push(',');
+            }
+            records.push('\n');
+        }
+    }
+    if let Some(path) = flags.value("json") {
+        let json = format!(
+            "{{\n  \"nets\": 1,\n  \"scenarios\": {},\n  \"results\": [\n{}  ]\n}}\n",
+            outcome.scenarios.len(),
+            records
+        );
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
+            println!("json report written to {path}");
+        }
+    }
+    Ok(())
+}

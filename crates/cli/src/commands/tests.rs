@@ -1,0 +1,878 @@
+use super::*;
+
+#[test]
+fn dispatch_rejects_unknown() {
+    let argv: Vec<String> = vec!["frobnicate".into()];
+    assert!(run(&argv).is_err());
+    let argv: Vec<String> = vec!["gen".into(), "nothing".into()];
+    assert!(run(&argv).is_err());
+}
+
+#[test]
+fn help_is_ok() {
+    assert!(run(&["--help".to_string()]).is_ok());
+    assert!(run(&[]).is_ok());
+}
+
+#[test]
+fn end_to_end_via_tempdir() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("t.net");
+    let lib = dir.join("t.lib");
+
+    let argv: Vec<String> = [
+        "gen",
+        "net",
+        "--kind",
+        "line",
+        "--length",
+        "8000",
+        "--sites",
+        "7",
+        "-o",
+        net.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+
+    let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run(&argv).unwrap();
+
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--placements",
+        "--stats",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+
+    let argv: Vec<String> = [
+        "frontier",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--max-cost",
+        "40",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+
+    let argv: Vec<String> = ["info", "--net", net.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run(&argv).unwrap();
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn yield_solve_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-yield-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("y.net");
+    let lib = dir.join("y.lib");
+    let var = dir.join("y.var");
+    let json = dir.join("y.json");
+
+    let argv: Vec<String> = [
+        "gen",
+        "net",
+        "--kind",
+        "line",
+        "--length",
+        "8000",
+        "--sites",
+        "7",
+        "-o",
+        net.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+    let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run(&argv).unwrap();
+    fs::write(
+        &var,
+        "wire-r normal 1.0 0.05\nwire-c normal 1.0 0.05\nlocality 0.5\nseed 7\n",
+    )
+    .unwrap();
+
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--variation",
+        var.to_str().unwrap(),
+        "--samples",
+        "8",
+        "--quantile",
+        "0.25",
+        "--stats",
+        "--json",
+        json.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+    let report = fs::read_to_string(&json).unwrap();
+    for key in [
+        "\"samples\": 8",
+        "\"quantile\": 0.25",
+        "\"quantile_slack_ps\"",
+        "\"yield\"",
+        "\"per_sample\"",
+    ] {
+        assert!(report.contains(key), "missing {key} in {report}");
+    }
+
+    // --samples / --quantile without --variation is a usage error, as
+    // is --placements in yield mode (there are no placements to show).
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--samples",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert!(run(&argv)
+        .unwrap_err()
+        .contains("--samples needs --variation"));
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--variation",
+        var.to_str().unwrap(),
+        "--placements",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert!(run(&argv).unwrap_err().contains("--placements"));
+
+    // A malformed spec is rejected with its line number.
+    fs::write(&var, "wire-r normal 1.0 -0.5\n").unwrap();
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--variation",
+        var.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert!(run(&argv).unwrap_err().contains("line 1"));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_accepts_every_net_kind() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-kinds-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    for (kind, extra) in [
+        ("random", vec!["--sinks", "12", "--seed", "3"]),
+        ("line", vec!["--length", "3000", "--sites", "4"]),
+        ("htree", vec!["--levels", "2", "--pitch", "300"]),
+        ("caterpillar", vec!["--sinks", "9", "--pitch", "250"]),
+    ] {
+        let net = dir.join(format!("{kind}.net"));
+        let mut argv: Vec<String> = ["gen", "net", "--kind", kind]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        argv.push("-o".into());
+        argv.push(net.to_str().unwrap().into());
+        run(&argv).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        // Generated files parse and report.
+        let argv: Vec<String> = ["info", "--net", net.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap_or_else(|e| panic!("{kind} info: {e}"));
+    }
+    let argv: Vec<String> = ["gen", "net", "--kind", "mystery"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(run(&argv).unwrap_err().contains("unknown net kind"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn suite_and_batch_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-batch-{}", std::process::id()));
+    let suite_dir = dir.join("suite");
+    fs::create_dir_all(&dir).unwrap();
+    let lib = dir.join("b.lib");
+    let json = dir.join("report.json");
+
+    let argv: Vec<String> = [
+        "gen",
+        "suite",
+        "--nets",
+        "12",
+        "--max-sinks",
+        "24",
+        "--seed",
+        "5",
+        "--out-dir",
+        suite_dir.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+    assert_eq!(fs::read_dir(&suite_dir).unwrap().count(), 12);
+
+    let argv: Vec<String> = ["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run(&argv).unwrap();
+
+    let argv: Vec<String> = [
+        "batch",
+        "--dir",
+        suite_dir.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--workers",
+        "3",
+        "--check",
+        "--per-net",
+        "--json",
+        json.to_str().unwrap(),
+        "--placements",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+    let report = fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"nets\": 12"));
+    assert!(report.contains("\"placements\""));
+
+    // The same run through a manifest (with a comment line) works too.
+    let manifest = dir.join("nets.txt");
+    let mut listing = String::from("# three nets of the suite\n");
+    for i in [0usize, 3, 7] {
+        listing.push_str(&format!("suite/net{i:05}.net\n"));
+    }
+    fs::write(&manifest, listing).unwrap();
+    let argv: Vec<String> = [
+        "batch",
+        "--manifest",
+        manifest.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: the `--check` failure path must fail loudly, naming the
+/// offending net. `--check-fault N` (a testing hook) perturbs net N's
+/// sequential re-solve so the divergence branch actually runs; the
+/// binary's `main` maps the returned `Err` to a nonzero exit code.
+#[test]
+fn batch_check_failure_names_the_offending_net() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-fault-{}", std::process::id()));
+    let suite_dir = dir.join("suite");
+    fs::create_dir_all(&dir).unwrap();
+    let lib = dir.join("b.lib");
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    run_strs(&[
+        "gen",
+        "suite",
+        "--nets",
+        "5",
+        "--max-sinks",
+        "16",
+        "--seed",
+        "2",
+        "--out-dir",
+        suite_dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    run_strs(&["gen", "lib", "--size", "3", "-o", lib.to_str().unwrap()]).unwrap();
+
+    // Sanity: without the fault the check passes.
+    run_strs(&[
+        "batch",
+        "--dir",
+        suite_dir.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--check",
+    ])
+    .unwrap();
+
+    // Forced mismatch on net index 3: the error names it.
+    let err = run_strs(&[
+        "batch",
+        "--dir",
+        suite_dir.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--check",
+        "--check-fault",
+        "3",
+    ])
+    .unwrap_err();
+    assert!(err.contains("check failed"), "{err}");
+    assert!(err.contains("net 3"), "must name the net index: {err}");
+    assert!(
+        err.contains("net00003.net"),
+        "must name the net file: {err}"
+    );
+    assert!(err.contains("diverges"), "{err}");
+
+    // A fault index outside the batch changes nothing.
+    run_strs(&[
+        "batch",
+        "--dir",
+        suite_dir.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--check",
+        "--check-fault",
+        "99",
+    ])
+    .unwrap();
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_and_batch_with_slew_limit_and_model() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-slew-{}", std::process::id()));
+    let suite_dir = dir.join("suite");
+    fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("t.net");
+    let lib = dir.join("t.lib");
+    let json = dir.join("r.json");
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    run_strs(&[
+        "gen",
+        "net",
+        "--kind",
+        "line",
+        "--length",
+        "9000",
+        "--sites",
+        "8",
+        "-o",
+        net.to_str().unwrap(),
+    ])
+    .unwrap();
+    run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+    for model in ["elmore", "scaled-elmore"] {
+        run_strs(&[
+            "solve",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--slew-limit",
+            "300",
+            "--model",
+            model,
+            "--placements",
+        ])
+        .unwrap_or_else(|e| panic!("{model}: {e}"));
+    }
+    let err = run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--model",
+        "spice",
+    ])
+    .unwrap_err();
+    assert!(err.contains("unknown delay model"), "{err}");
+    let err = run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--slew-limit",
+        "-5",
+    ])
+    .unwrap_err();
+    assert!(err.contains("--slew-limit"), "{err}");
+
+    // Slew-stressed suite through the slew-constrained batch, with
+    // check + JSON.
+    run_strs(&[
+        "gen",
+        "suite",
+        "--nets",
+        "6",
+        "--max-sinks",
+        "16",
+        "--seed",
+        "3",
+        "--slew-stress",
+        "--out-dir",
+        suite_dir.to_str().unwrap(),
+    ])
+    .unwrap();
+    run_strs(&[
+        "batch",
+        "--dir",
+        suite_dir.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--slew-limit",
+        "400",
+        "--check",
+        "--per-net",
+        "--json",
+        json.to_str().unwrap(),
+    ])
+    .unwrap();
+    let report = fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"slew_limit_ps\": 400"), "{report}");
+    assert!(report.contains("\"max_slew_ps\""));
+    assert!(report.contains("\"slew_ok\""));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: `solve --json` emits the same per-net JSON schema as
+/// `batch --json` (shared `fastbuf_api::json::NetRecord` serializer),
+/// and `solve --scenarios FILE` runs multi-corner requests end to end.
+#[test]
+fn solve_json_and_scenarios_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-scen-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("t.net");
+    let lib = dir.join("t.lib");
+    let corners = dir.join("corners.txt");
+    let solve_json = dir.join("solve.json");
+    let batch_json = dir.join("batch.json");
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    run_strs(&[
+        "gen",
+        "net",
+        "--kind",
+        "line",
+        "--length",
+        "9000",
+        "--sites",
+        "8",
+        "-o",
+        net.to_str().unwrap(),
+    ])
+    .unwrap();
+    run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+    // Single solve --json first: its record keys must be exactly the
+    // batch per-net keys (shared serializer).
+    run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--json",
+        solve_json.to_str().unwrap(),
+        "--placements",
+    ])
+    .unwrap();
+    let single = fs::read_to_string(&solve_json).unwrap();
+    let manifest = dir.join("one.txt");
+    fs::write(&manifest, "t.net\n").unwrap();
+    run_strs(&[
+        "batch",
+        "--manifest",
+        manifest.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--json",
+        batch_json.to_str().unwrap(),
+        "--placements",
+    ])
+    .unwrap();
+    let batch = fs::read_to_string(&batch_json).unwrap();
+    for key in [
+        "\"net\"",
+        "\"index\"",
+        "\"sinks\"",
+        "\"sites\"",
+        "\"slack_before_ps\"",
+        "\"slack_after_ps\"",
+        "\"slew_before_ps\"",
+        "\"max_slew_ps\"",
+        "\"slew_ok\"",
+        "\"buffers\"",
+        "\"cost\"",
+        "\"elapsed_us\"",
+        "\"placements\"",
+    ] {
+        assert!(batch.contains(key), "batch lost {key}: {batch}");
+        assert!(single.contains(key), "solve missing {key}: {single}");
+    }
+
+    // Multi-corner run through a scenario file.
+    fs::write(
+        &corners,
+        "# three corners\n\
+         typical\n\
+         slow derate=0.9 slew-limit-ps=350\n\
+         fast model=scaled-elmore algo=lillis\n",
+    )
+    .unwrap();
+    run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--scenarios",
+        corners.to_str().unwrap(),
+        "--json",
+        solve_json.to_str().unwrap(),
+    ])
+    .unwrap();
+    let multi = fs::read_to_string(&solve_json).unwrap();
+    assert!(multi.contains("\"scenarios\": 3"), "{multi}");
+    for name in ["typical", "slow", "fast"] {
+        assert!(
+            multi.contains(&format!("\"scenario\": \"{name}\"")),
+            "{multi}"
+        );
+    }
+    assert!(multi.contains("\"slack_after_ps\""));
+
+    // A corner file with a single line keeps the named, scenario-keyed
+    // output — downstream tooling keyed on scenario names must not
+    // break when a file shrinks to one corner.
+    fs::write(&corners, "signoff slew-limit-ps=350\n").unwrap();
+    run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--scenarios",
+        corners.to_str().unwrap(),
+        "--json",
+        solve_json.to_str().unwrap(),
+    ])
+    .unwrap();
+    let single_corner = fs::read_to_string(&solve_json).unwrap();
+    assert!(
+        single_corner.contains("\"scenario\": \"signoff\""),
+        "{single_corner}"
+    );
+
+    // Flag conflicts and file errors are reported, not panicked.
+    let err = run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--scenarios",
+        corners.to_str().unwrap(),
+        "--slew-limit",
+        "200",
+    ])
+    .unwrap_err();
+    assert!(err.contains("conflicts"), "{err}");
+    assert_eq!(err.code, 2, "flag conflicts are usage errors");
+    fs::write(&corners, "bad line=").unwrap();
+    let err = run_strs(&[
+        "solve",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--scenarios",
+        corners.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    // The distinct per-variant exit code of `SolveError::ScenarioParse`
+    // (documented in --help).
+    assert_eq!(err.code, 18, "scenario-parse exit code");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: every error family keeps its documented exit code —
+/// usage 2, I/O 3, typed solver errors their per-variant 10–20.
+#[test]
+fn exit_codes_follow_the_documented_mapping() {
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    // Usage: unknown command.
+    assert_eq!(run_strs(&["bogus"]).unwrap_err().code, 2);
+    // I/O: unreadable net file.
+    let err = run_strs(&["info", "--net", "/nonexistent/x.net"]).unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+    assert_eq!(err.code, 3, "I/O errors exit 3");
+    // The mapping itself is pinned distinct in `fastbuf-api`'s
+    // `kinds_and_exit_codes_are_distinct`; here we pin that `--help`
+    // documents every code the binary can exit with.
+    for code in ["| 2 usage", "| 3 I/O", "10 no-scenarios", "20 edit"] {
+        assert!(USAGE.contains(code), "--help must document `{code}`");
+    }
+}
+
+/// Satellite: `fastbuf serve` flag validation (the server's behavior
+/// itself is covered by `fastbuf-server`'s tests).
+#[test]
+fn serve_validates_flags_before_binding() {
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let err = run_strs(&["serve"]).unwrap_err();
+    assert!(err.contains("--stdio or --port"), "{err}");
+    let err = run_strs(&["serve", "--stdio", "--port", "0"]).unwrap_err();
+    assert!(err.contains("not both"), "{err}");
+    let err = run_strs(&["serve", "--stdio", "--workers", "0"]).unwrap_err();
+    assert!(err.contains("--workers"), "{err}");
+    let err = run_strs(&["serve", "--stdio", "--preload", "busted"]).unwrap_err();
+    assert!(err.contains("ID=NET,LIB"), "{err}");
+    let err =
+        run_strs(&["serve", "--stdio", "--preload", "d=/nonexistent.net,/x.lib"]).unwrap_err();
+    assert_eq!(err.code, 3, "preload I/O failures exit 3: {err}");
+}
+
+/// Satellite: `fastbuf eco` end to end — random scripts, edit files,
+/// `--check` bit-identity, JSON output, and flag validation.
+#[test]
+fn eco_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-eco-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("t.net");
+    let lib = dir.join("t.lib");
+    let edits = dir.join("script.eco");
+    let json = dir.join("eco.json");
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    run_strs(&[
+        "gen",
+        "net",
+        "--kind",
+        "random",
+        "--sinks",
+        "14",
+        "--seed",
+        "4",
+        "-o",
+        net.to_str().unwrap(),
+    ])
+    .unwrap();
+    run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+    // Random script + check + emit + json, in one run.
+    run_strs(&[
+        "eco",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--random",
+        "12",
+        "--locality",
+        "0.3",
+        "--seed",
+        "7",
+        "--check",
+        "--per-edit",
+        "--emit-edits",
+        edits.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ])
+    .unwrap();
+    let report = fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"edits\": 12"), "{report}");
+    assert!(report.contains("\"nodes_recomputed\""));
+    assert!(report.contains("\"checked\": true"));
+
+    // The emitted script replays through --edits (with a slew limit
+    // and a non-default model, still bit-identical under --check).
+    assert!(fs::read_to_string(&edits).unwrap().lines().count() == 12);
+    for model in ["elmore", "scaled-elmore"] {
+        run_strs(&[
+            "eco",
+            "--net",
+            net.to_str().unwrap(),
+            "--lib",
+            lib.to_str().unwrap(),
+            "--edits",
+            edits.to_str().unwrap(),
+            "--model",
+            model,
+            "--slew-limit",
+            "400",
+            "--check",
+        ])
+        .unwrap_or_else(|e| panic!("{model}: {e}"));
+    }
+
+    // Flag validation.
+    let err = run_strs(&[
+        "eco",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--edits or --random"), "{err}");
+    let err = run_strs(&[
+        "eco",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--random",
+        "5",
+        "--locality",
+        "1.5",
+    ])
+    .unwrap_err();
+    assert!(err.contains("--locality"), "{err}");
+    // A script naming a nonexistent node fails with the edit named.
+    fs::write(&edits, "rat n9999 100\n").unwrap();
+    let err = run_strs(&[
+        "eco",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--edits",
+        edits.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("edit 1"), "{err}");
+    assert!(err.contains("n9999"), "{err}");
+    // A malformed script reports its line.
+    fs::write(&edits, "wire n1\n").unwrap();
+    let err = run_strs(&[
+        "eco",
+        "--net",
+        net.to_str().unwrap(),
+        "--lib",
+        lib.to_str().unwrap(),
+        "--edits",
+        edits.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_flag_validation() {
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let err = run_strs(&["batch", "--lib", "/nonexistent.lib"]).unwrap_err();
+    assert!(err.contains("--dir or --manifest"), "{err}");
+    let err = run_strs(&[
+        "batch",
+        "--dir",
+        "/nonexistent-dir",
+        "--manifest",
+        "/nonexistent.txt",
+        "--lib",
+        "x",
+    ])
+    .unwrap_err();
+    assert!(err.contains("not both"), "{err}");
+    let err = run_strs(&["batch", "--dir", "/nonexistent-dir", "--lib", "x"]).unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+    // Suite bounds are CLI errors, not netgen panics.
+    let err = run_strs(&["gen", "suite", "--out-dir", "/tmp/x", "--nets", "0"]).unwrap_err();
+    assert!(err.contains("--nets"), "{err}");
+    let err = run_strs(&["gen", "suite", "--out-dir", "/tmp/x", "--max-sinks", "4"]).unwrap_err();
+    assert!(err.contains("--max-sinks"), "{err}");
+}
+
+#[test]
+fn gen_lib_with_jitter_roundtrips() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cli-lib-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let lib = dir.join("j.lib");
+    let argv: Vec<String> = [
+        "gen",
+        "lib",
+        "--size",
+        "6",
+        "--jitter",
+        "11",
+        "-o",
+        lib.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&argv).unwrap();
+    let parsed = BufferLibrary::from_text(&fs::read_to_string(&lib).unwrap()).unwrap();
+    assert_eq!(parsed.len(), 6);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_reports_missing_files() {
+    let argv: Vec<String> = [
+        "solve",
+        "--net",
+        "/nonexistent.net",
+        "--lib",
+        "/nonexistent.lib",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let err = run(&argv).unwrap_err();
+    assert!(err.contains("cannot read"));
+}

@@ -25,8 +25,9 @@ use fastbuf_rctree::{NodeId, SiteConstraint, SiteVariation};
 
 use crate::arena::{PredArena, PredEntry, PredRef};
 use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
-use crate::hull::{convex_prune_in_place, upper_hull_into};
+use crate::hull::{convex_prune_in_place, upper_hull_cols, upper_hull_into};
 use crate::pool::CandidatePool;
+use crate::slab::{CandidateSlab, SlabList, SlabView};
 use crate::slew::SlewPolicy;
 use crate::stats::SolveStats;
 
@@ -349,6 +350,254 @@ fn find_alphas_walk(
         };
         scratch.beta_slots[id.index()] = Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
     }
+}
+
+/// [`add_buffers`] over the struct-of-arrays kernel: identical algorithm on
+/// a [`SlabList`]. The β generation (library order, per-type best
+/// candidate, dominance pruning among betas, counters) replicates the
+/// reference expression by expression; only the final insertion uses
+/// [`CandidateSlab::merge_insert`] instead of the pooled AoS merge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn add_buffers_slab(
+    algo: Algorithm,
+    slab: &mut CandidateSlab,
+    list: SlabList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    variation: SiteVariation,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    slew: &SlewPolicy,
+    stats: &mut SolveStats,
+) {
+    if !find_betas_slab(
+        algo, slab, list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+    ) {
+        return;
+    }
+    scratch.betas.clear();
+    for &id in lib.by_input_cap_asc() {
+        if let Some(beta) = scratch.beta_slots[id.index()].take() {
+            push_pruned_c_order(&mut scratch.betas, beta);
+        }
+    }
+    stats.betas_generated += scratch.betas.len() as u64;
+    slab.merge_insert(list, &scratch.betas);
+}
+
+/// [`find_betas`] over the slab: fills `scratch.beta_slots` from the
+/// columns of `list`. [`Algorithm::LiShiPermanent`] convex-prunes the slab
+/// list in place via [`CandidateSlab::convex_prune`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn find_betas_slab(
+    algo: Algorithm,
+    slab: &mut CandidateSlab,
+    list: SlabList,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    variation: SiteVariation,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    slew: &SlewPolicy,
+    stats: &mut SolveStats,
+) -> bool {
+    if slab.len(list) == 0 || lib.is_empty() || !constraint.is_site() {
+        return false;
+    }
+    stats.addbuffer_ops += 1;
+    scratch.beta_slots.clear();
+    scratch.beta_slots.resize(lib.len(), None);
+
+    match algo {
+        Algorithm::Lillis => {
+            find_alphas_scan_slab(
+                slab.view(list),
+                lib,
+                constraint,
+                node,
+                variation,
+                arena,
+                track,
+                scratch,
+                slew,
+                stats,
+            );
+        }
+        Algorithm::LiShi => {
+            if slew.active() {
+                find_alphas_scan_slab(
+                    slab.view(list),
+                    lib,
+                    constraint,
+                    node,
+                    variation,
+                    arena,
+                    track,
+                    scratch,
+                    slew,
+                    stats,
+                );
+            } else {
+                let view = slab.view(list);
+                upper_hull_cols(view.q, view.c, &mut scratch.hull);
+                stats.hull_builds += 1;
+                stats.hull_input_candidates += view.len() as u64;
+                find_alphas_walk_slab(
+                    view, lib, constraint, node, variation, arena, track, scratch, stats,
+                );
+            }
+        }
+        Algorithm::LiShiPermanent => {
+            stats.convex_pruned += slab.convex_prune(list) as u64;
+            if slew.active() {
+                find_alphas_scan_slab(
+                    slab.view(list),
+                    lib,
+                    constraint,
+                    node,
+                    variation,
+                    arena,
+                    track,
+                    scratch,
+                    slew,
+                    stats,
+                );
+            } else {
+                let view = slab.view(list);
+                stats.hull_builds += 1;
+                stats.hull_input_candidates += view.len() as u64;
+                scratch.hull.clear();
+                scratch.hull.extend(0..view.len() as u32);
+                find_alphas_walk_slab(
+                    view, lib, constraint, node, variation, arena, track, scratch, stats,
+                );
+            }
+        }
+    }
+    true
+}
+
+/// [`find_alphas_scan`] over slab columns — same per-type scans, same
+/// early-exit and feasibility checks, same counters.
+#[allow(clippy::too_many_arguments)]
+fn find_alphas_scan_slab(
+    view: SlabView<'_>,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    variation: SiteVariation,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    slew: &SlewPolicy,
+    stats: &mut SolveStats,
+) {
+    let n = view.len();
+    let (qs, cs, ss) = (&view.q[..n], &view.c[..n], &view.s[..n]);
+    for (id, _) in lib.iter() {
+        if !constraint.allows(id) {
+            continue;
+        }
+        let (r, k, c_in, max_load) = params(lib, id, variation);
+        let slew_cap = slew.type_cap(id);
+        let mut best: Option<usize> = None;
+        let mut visits = 0u64;
+        for i in 0..n {
+            visits += 1;
+            if cs[i] > max_load {
+                break; // c is sorted ascending; nothing further fits
+            }
+            if r * cs[i] + ss[i] > slew_cap {
+                continue; // closing this stage with B_i would violate slew
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if qs[i] - r * cs[i] > qs[b] - r * cs[b] {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        stats.scan_candidate_visits += visits;
+        if let Some(i) = best {
+            let alpha = view.get(i);
+            scratch.beta_slots[id.index()] =
+                Some(make_beta(&alpha, id, r, k, c_in, node, arena, track));
+        }
+    }
+}
+
+/// [`find_alphas_walk`] over slab columns: the same monotone hull walk with
+/// the same load-limited exact-scan fallback.
+#[allow(clippy::too_many_arguments)]
+fn find_alphas_walk_slab(
+    view: SlabView<'_>,
+    lib: &BufferLibrary,
+    constraint: &SiteConstraint,
+    node: NodeId,
+    variation: SiteVariation,
+    arena: &mut PredArena,
+    track: bool,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) {
+    let Scratch {
+        hull, beta_slots, ..
+    } = scratch;
+    let hull = &hull[..];
+    let n = view.len();
+    let (qs, cs) = (&view.q[..n], &view.c[..n]);
+    let mut ptr = 0usize;
+    let mut walk_steps = 0u64;
+    for &id in lib.by_resistance_desc() {
+        if !constraint.allows(id) {
+            continue;
+        }
+        let (r, k, c_in, max_load) = params(lib, id, variation);
+        let alpha = if max_load.is_finite() {
+            // Exact constrained scan (rare path).
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                stats.scan_candidate_visits += 1;
+                if cs[i] > max_load {
+                    break;
+                }
+                if best.is_none_or(|b| qs[i] - r * cs[i] > qs[b] - r * cs[b]) {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => view.get(i),
+                None => continue, // no candidate satisfies the load limit
+            }
+        } else {
+            // The walk carries the current vertex's objective in a
+            // register: a vertex's `q − r·c` is the same bits whether kept
+            // from the step that advanced onto it or recomputed, since `r`
+            // is fixed within one buffer type.
+            let cur = hull[ptr] as usize;
+            let mut cur_v = qs[cur] - r * cs[cur];
+            while ptr + 1 < hull.len() {
+                let nxt = hull[ptr + 1] as usize;
+                let nxt_v = qs[nxt] - r * cs[nxt];
+                if nxt_v > cur_v {
+                    ptr += 1;
+                    cur_v = nxt_v;
+                    walk_steps += 1;
+                } else {
+                    break;
+                }
+            }
+            view.get(hull[ptr] as usize)
+        };
+        beta_slots[id.index()] = Some(make_beta(&alpha, id, r, k, c_in, node, arena, track));
+    }
+    stats.hull_walk_steps += walk_steps;
 }
 
 /// Builds `β_i` from its best candidate `α_i`.

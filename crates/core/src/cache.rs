@@ -229,6 +229,28 @@ pub(crate) fn clone_list_pooled(list: &CandidateList, pool: &mut CandidatePool) 
     CandidateList::from_sorted(v)
 }
 
+/// [`store_snapshot`] from slab columns: materializes the candidates of a
+/// [`SlabView`](crate::slab::SlabView) into the boundary `CandidateList`
+/// snapshot, reusing the previous snapshot's allocation when present.
+/// Snapshots are kernel-agnostic — either kernel can read either's.
+pub(crate) fn store_snapshot_view(
+    slot: &mut Option<CandidateList>,
+    view: crate::slab::SlabView<'_>,
+) {
+    let mut v = match slot.take() {
+        Some(old) => {
+            let mut v = old.into_vec();
+            v.clear();
+            v
+        }
+        None => Vec::with_capacity(view.len()),
+    };
+    for i in 0..view.len() {
+        v.push(view.get(i));
+    }
+    *slot = Some(CandidateList::from_sorted(v));
+}
+
 /// Stores a snapshot of `list` into `slot`, reusing the previous
 /// snapshot's allocation when present.
 pub(crate) fn store_snapshot(slot: &mut Option<CandidateList>, list: &CandidateList) {

@@ -53,10 +53,12 @@ use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_rctree::{NodeKind, RoutingTree};
 
-use crate::arena::{PredArena, PredRef};
-use crate::buffering::{find_betas, Algorithm, Scratch};
+use fastbuf_rctree::delay::ElmoreModel;
+
+use crate::arena::PredArena;
+use crate::buffering::{find_betas_slab, Algorithm, Scratch};
 use crate::candidate::{Candidate, CandidateList};
-use crate::merge::merge_branches;
+use crate::slab::{CandidateSlab, SlabList};
 use crate::slew::SlewPolicy;
 use crate::solution::Placement;
 use crate::stats::SolveStats;
@@ -179,8 +181,10 @@ impl<'a> CostSolver<'a> {
         let mut stats = SolveStats::default();
         let mut arena = PredArena::new();
         let mut scratch = Scratch::default();
-        let empty_levels = || vec![CandidateList::new(); w_max + 1];
-        let mut levels: Vec<Option<Vec<CandidateList>>> = vec![None; tree.node_count()];
+        let mut slab = CandidateSlab::default();
+        // Per node, one slab handle per cost level; `None` is an empty
+        // level (most levels are), so no columns are allocated for them.
+        let mut levels: Vec<Option<Vec<Option<SlabList>>>> = vec![None; tree.node_count()];
 
         for &node in tree.postorder() {
             let node_levels = match tree.kind(node) {
@@ -188,33 +192,27 @@ impl<'a> CostSolver<'a> {
                     capacitance,
                     required_arrival,
                 } => {
-                    let mut lv = empty_levels();
-                    lv[0] = CandidateList::sink(
-                        required_arrival.value(),
-                        capacitance.value(),
-                        PredRef::NONE,
-                    );
+                    let mut lv: Vec<Option<SlabList>> = vec![None; w_max + 1];
+                    lv[0] = Some(slab.sink(required_arrival.value(), capacitance.value()));
                     lv
                 }
                 NodeKind::Internal | NodeKind::Source { .. } => {
-                    let mut acc: Option<Vec<CandidateList>> = None;
+                    let mut acc: Option<Vec<Option<SlabList>>> = None;
                     for &child in tree.children(node) {
-                        let mut cl = levels[child.index()]
+                        let cl = levels[child.index()]
                             .take()
                             .expect("post-order guarantees children are done");
                         let wire = tree.wire_to_parent(child).expect("child wire");
                         let (r, cw) = (wire.resistance().value(), wire.capacitance().value());
-                        for level in cl.iter_mut() {
-                            if !level.is_empty() {
-                                level.add_wire(r, cw);
-                                stats.wire_ops += 1;
-                            }
+                        for level in cl.iter().copied().flatten() {
+                            slab.add_wire(level, &ElmoreModel, r, cw, &mut stats);
+                            stats.wire_ops += 1;
                         }
                         acc = Some(match acc {
                             None => cl,
                             Some(prev) => {
                                 stats.merge_ops += 1;
-                                merge_levels(prev, cl, &mut arena)
+                                merge_levels(&mut slab, prev, cl, &mut arena, &mut stats)
                             }
                         });
                     }
@@ -223,15 +221,14 @@ impl<'a> CostSolver<'a> {
                         // Snapshot betas from every level first, then insert,
                         // so a single node never hosts two buffers.
                         let mut pending: Vec<Vec<Candidate>> = vec![Vec::new(); w_max + 1];
-                        for (w, level) in lv.iter_mut().enumerate() {
-                            if level.is_empty() {
-                                continue;
-                            }
+                        for (w, level) in lv.iter().enumerate() {
+                            let Some(level) = *level else { continue };
                             // The cost DP stays slew-unconstrained; pair it
                             // with `Solver::slew_limit` if both axes are
                             // needed (see docs/ALGORITHM.md).
-                            if !find_betas(
+                            if !find_betas_slab(
                                 self.algorithm,
+                                &mut slab,
                                 level,
                                 lib,
                                 tree.site_constraint(node),
@@ -260,15 +257,18 @@ impl<'a> CostSolver<'a> {
                             }
                             stats.betas_generated += group.len() as u64;
                             let sorted = CandidateList::from_candidates(group);
-                            lv[w].merge_insert(sorted.as_slice());
+                            match lv[w] {
+                                Some(list) => slab.merge_insert(list, sorted.as_slice()),
+                                None => lv[w] = Some(slab.load_list(&sorted)),
+                            }
                         }
-                        prune_levels(&mut lv);
+                        prune_levels(&mut slab, &mut lv, &mut stats);
                     }
                     lv
                 }
             };
-            for level in &node_levels {
-                stats.max_list_len = stats.max_list_len.max(level.len());
+            for level in node_levels.iter().copied().flatten() {
+                stats.max_list_len = stats.max_list_len.max(slab.len(level));
             }
             levels[node.index()] = Some(node_levels);
         }
@@ -282,8 +282,10 @@ impl<'a> CostSolver<'a> {
         let mut points = Vec::new();
         let mut best = f64::NEG_INFINITY;
         for (w, level) in root_levels.iter().enumerate() {
-            stats.root_list_len = stats.root_list_len.max(level.len());
-            if let Some(cand) = level.best_driven(dr, dk) {
+            let Some(level) = *level else { continue };
+            stats.root_list_len = stats.root_list_len.max(slab.len(level));
+            if let Some(i) = slab.best_driven(level, dr, dk) {
+                let cand = slab.view(level).get(i);
                 let slack = cand.q - dk - dr * cand.c;
                 if slack > best {
                     best = slack;
@@ -300,6 +302,7 @@ impl<'a> CostSolver<'a> {
             }
         }
         stats.arena_entries = arena.len();
+        stats.slab_bytes_peak = slab.peak_bytes();
         stats.elapsed = start.elapsed();
         Ok(CostFrontier { points, stats })
     }
@@ -307,57 +310,72 @@ impl<'a> CostSolver<'a> {
 
 /// Convolves two per-level lists: `out[w] = nondominated union over
 /// w₁+w₂=w of merge(left[w₁], right[w₂])`.
+///
+/// Each input level takes part in up to `w_max + 1` merges; the slab's
+/// non-consuming [`CandidateSlab::merge_keep`] reads it in place each time,
+/// where the reference convolution cloned both sides per pair.
 fn merge_levels(
-    left: Vec<CandidateList>,
-    right: Vec<CandidateList>,
+    slab: &mut CandidateSlab,
+    left: Vec<Option<SlabList>>,
+    right: Vec<Option<SlabList>>,
     arena: &mut PredArena,
-) -> Vec<CandidateList> {
+    stats: &mut SolveStats,
+) -> Vec<Option<SlabList>> {
     let w_max = left.len() - 1;
-    let mut out = vec![CandidateList::new(); w_max + 1];
+    let mut out: Vec<Option<SlabList>> = vec![None; w_max + 1];
     for (w1, l) in left.iter().enumerate() {
-        if l.is_empty() {
-            continue;
-        }
+        let Some(l) = *l else { continue };
         for (w2, r) in right.iter().enumerate() {
-            if r.is_empty() || w1 + w2 > w_max {
+            if w1 + w2 > w_max {
                 continue;
             }
-            let merged = merge_branches(l.clone(), r.clone(), arena, true);
-            out[w1 + w2].merge_insert(merged.as_slice());
+            let Some(r) = *r else { continue };
+            let merged = slab.merge_keep(l, r, arena, true, stats);
+            match out[w1 + w2] {
+                None => out[w1 + w2] = Some(merged),
+                Some(dst) => {
+                    slab.merge_insert_list(dst, merged);
+                    slab.free(merged);
+                }
+            }
         }
     }
-    prune_levels(&mut out);
+    for spent in left.into_iter().chain(right).flatten() {
+        slab.free(spent);
+    }
+    prune_levels(slab, &mut out, stats);
     out
 }
 
 /// Three-dimensional dominance: removes candidates beaten in `(Q, C)` by a
-/// candidate at an equal-or-cheaper level.
-fn prune_levels(levels: &mut [CandidateList]) {
-    let mut frontier = CandidateList::new();
-    for level in levels.iter_mut() {
-        if level.is_empty() {
+/// candidate at an equal-or-cheaper level. The running cheaper-or-equal
+/// frontier is itself a slab list; each level is filtered against it by one
+/// linear sweep ([`CandidateSlab::retain_undominated`]) and then unioned
+/// into it in place.
+fn prune_levels(slab: &mut CandidateSlab, levels: &mut [Option<SlabList>], stats: &mut SolveStats) {
+    let mut frontier: Option<SlabList> = None;
+    for slot in levels.iter_mut() {
+        let Some(level) = *slot else { continue };
+        if slab.len(level) == 0 {
+            slab.free(level);
+            *slot = None;
             continue;
         }
-        if !frontier.is_empty() {
-            let kept: Vec<Candidate> = level
-                .iter()
-                .filter(|cand| {
-                    // Max Q among frontier candidates with C <= cand.c; the
-                    // frontier is sorted ascending in both, so that's the
-                    // last one at or below cand.c.
-                    let below = frontier.as_slice().partition_point(|f| f.c <= cand.c);
-                    let dominated = below > 0 && frontier.as_slice()[below - 1].q >= cand.q;
-                    !dominated
-                })
-                .copied()
-                .collect();
-            if kept.len() != level.len() {
-                *level = CandidateList::from_sorted(kept);
+        if let Some(f) = frontier {
+            slab.retain_undominated(level, f, stats);
+            if slab.len(level) == 0 {
+                slab.free(level);
+                *slot = None;
+                continue;
             }
         }
-        let mut union = frontier.clone();
-        union.merge_insert(level.as_slice());
-        frontier = union;
+        match frontier {
+            None => frontier = Some(slab.copy_list(level)),
+            Some(f) => slab.merge_insert_list(f, level),
+        }
+    }
+    if let Some(f) = frontier {
+        slab.free(f);
     }
 }
 
@@ -527,11 +545,15 @@ mod tests {
     #[test]
     fn prune_levels_removes_expensive_dominated() {
         use crate::arena::PredRef;
-        let mk = |pts: &[(f64, f64)]| {
-            CandidateList::from_candidates(
-                pts.iter()
-                    .map(|&(q, c)| Candidate::new(q, c, PredRef::NONE))
-                    .collect(),
+        let mut slab = CandidateSlab::default();
+        let mut stats = SolveStats::default();
+        let mut mk = |pts: &[(f64, f64)]| {
+            Some(
+                slab.load_list(&CandidateList::from_candidates(
+                    pts.iter()
+                        .map(|&(q, c)| Candidate::new(q, c, PredRef::NONE))
+                        .collect(),
+                )),
             )
         };
         let mut levels = vec![
@@ -539,10 +561,11 @@ mod tests {
             mk(&[(4.0, 3.0), (6.0, 4.0)]), // (4,3) dominated by cheaper (5,2)
             mk(&[(5.0, 2.0)]),             // exactly equal but pricier: dominated
         ];
-        prune_levels(&mut levels);
-        assert_eq!(levels[0].len(), 1);
-        assert_eq!(levels[1].len(), 1);
-        assert_eq!(levels[1].as_slice()[0].q, 6.0);
-        assert!(levels[2].is_empty());
+        prune_levels(&mut slab, &mut levels, &mut stats);
+        assert_eq!(slab.len(levels[0].unwrap()), 1);
+        assert_eq!(slab.len(levels[1].unwrap()), 1);
+        assert_eq!(slab.view(levels[1].unwrap()).q[0], 6.0);
+        assert!(levels[2].is_none(), "fully dominated level is dropped");
+        assert_eq!(stats.slab_candidates_pruned, 2);
     }
 }

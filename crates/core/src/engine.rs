@@ -8,22 +8,82 @@
 //! "three major operations" and guarantees that runtime differences between
 //! [`Algorithm`]s measure exactly the operation the paper improves.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fastbuf_buflib::units::{Farads, Seconds};
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_rctree::delay::{DelayModel, ElmoreModel};
-use fastbuf_rctree::{NodeKind, RoutingTree};
+use fastbuf_rctree::{NodeId, NodeKind, RoutingTree};
 
 use crate::arena::{PredArena, PredRef};
-use crate::buffering::{add_buffers, Algorithm, Scratch};
-use crate::cache::{clone_list_pooled, store_snapshot, CacheFingerprint, SubtreeCache};
+use crate::buffering::{add_buffers, add_buffers_slab, Algorithm, Scratch};
+use crate::cache::{
+    clone_list_pooled, store_snapshot, store_snapshot_view, CacheFingerprint, SubtreeCache,
+};
 use crate::candidate::{Candidate, CandidateList};
 use crate::merge::merge_branches_pooled;
+use crate::slab::{CandidateSlab, SlabList};
 use crate::slew::SlewPolicy;
 use crate::solution::Solution;
 use crate::stats::SolveStats;
+
+/// Which candidate-kernel implementation the DP engine runs.
+///
+/// Both kernels execute the identical algorithm — same operations, same
+/// expressions, same evaluation order — and produce **bit-identical**
+/// results (asserted by `tests/kernel_equivalence.rs` and the golden-bit
+/// anchors). They differ only in data layout:
+///
+/// * [`Kernel::Slab`] (the default) stores candidates as
+///   struct-of-arrays columns, turning dominance pruning, wire propagation,
+///   and `AddBuffer` scans into linear column sweeps, and enables the
+///   intra-net parallelism knob
+///   ([`SolverOptions::intra_net_workers`]);
+/// * [`Kernel::Reference`] is the historical `Vec<Candidate>`
+///   (array-of-structs) path, kept as the differential baseline and for
+///   apples-to-apples benchmarking (`BENCH_kernel.json` records both).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Array-of-structs `Vec<Candidate>` reference path.
+    Reference,
+    /// Struct-of-arrays column kernel (default).
+    #[default]
+    Slab,
+}
+
+impl Kernel {
+    /// Both kernels, for parametrized tests and benches.
+    pub const ALL: [Kernel; 2] = [Kernel::Reference, Kernel::Slab];
+
+    /// Short stable name (used by benches and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Slab => "slab",
+        }
+    }
+}
+
+impl std::str::FromStr for Kernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(Kernel::Reference),
+            "slab" => Ok(Kernel::Slab),
+            other => Err(format!(
+                "unknown kernel `{other}` (expected reference or slab)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Reusable solver state: every allocation a solve needs, kept alive
 /// between solves.
@@ -62,6 +122,8 @@ pub struct SolveWorkspace {
     arena: PredArena,
     scratch: Scratch,
     lists: Vec<Option<CandidateList>>,
+    slab: CandidateSlab,
+    slab_lists: Vec<Option<SlabList>>,
 }
 
 impl SolveWorkspace {
@@ -98,6 +160,21 @@ pub struct SolverOptions {
     /// [`Solution::slew_ok`](crate::Solution::slew_ok). A non-finite limit
     /// behaves exactly like `None`.
     pub slew_limit: Option<Seconds>,
+    /// Which candidate-kernel data layout the DP runs on (default
+    /// [`Kernel::Slab`]). Both kernels are bit-identical; see [`Kernel`].
+    /// Deliberately **not** part of the [`SubtreeCache`] fingerprint:
+    /// snapshots written by one kernel are valid for the other.
+    pub kernel: Kernel,
+    /// Number of worker threads for *intra-net* sibling-subtree
+    /// parallelism (default 1 = sequential). With `n > 1`, the slab kernel
+    /// solves independent subtrees of a single net concurrently and joins
+    /// them in an order fixed by the tree topology (never completion
+    /// order), so results stay bit-identical at every worker count.
+    /// Ignored by [`Kernel::Reference`] and by
+    /// [`Solver::solve_cached`] (incremental solves recompute sparse root
+    /// paths, which have no sibling-subtree work worth forking for), and a
+    /// no-op on small nets. Also not part of the cache fingerprint.
+    pub intra_net_workers: usize,
 }
 
 impl Default for SolverOptions {
@@ -107,6 +184,8 @@ impl Default for SolverOptions {
             track_predecessors: true,
             delay_model: Arc::new(ElmoreModel),
             slew_limit: None,
+            kernel: Kernel::default(),
+            intra_net_workers: 1,
         }
     }
 }
@@ -204,6 +283,23 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Selects the candidate-kernel data layout (default
+    /// [`Kernel::Slab`]; both are bit-identical).
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.options.kernel = kernel;
+        self
+    }
+
+    /// Sets the intra-net worker count (see
+    /// [`SolverOptions::intra_net_workers`]). Values `<= 1` mean
+    /// sequential.
+    #[must_use]
+    pub fn intra_net_workers(mut self, workers: usize) -> Self {
+        self.options.intra_net_workers = workers;
+        self
+    }
+
     /// Runs the dynamic program and returns the best solution found.
     ///
     /// For [`Algorithm::Lillis`] and [`Algorithm::LiShi`] the result is the
@@ -260,12 +356,27 @@ impl<'a> Solver<'a> {
         self.solve_impl(workspace, Some(cache))
     }
 
-    /// The shared DP loop. With `cache = None` this is the historical
-    /// from-scratch pass (arena cleared per solve); with a cache, clean
-    /// nodes are skipped, their lists cloned from the cache at the parent's
-    /// merge, recomputed lists snapshotted back, and the *cache's* arena
-    /// used append-only so cached `PredRef`s stay valid across solves.
+    /// Kernel dispatch: both paths execute the identical algorithm and
+    /// return bit-identical solutions; they differ only in candidate data
+    /// layout (and the slab path's optional intra-net parallelism).
     fn solve_impl(
+        &self,
+        workspace: &mut SolveWorkspace,
+        cache: Option<&mut SubtreeCache>,
+    ) -> Solution {
+        match self.options.kernel {
+            Kernel::Reference => self.solve_impl_reference(workspace, cache),
+            Kernel::Slab => self.solve_impl_slab(workspace, cache),
+        }
+    }
+
+    /// The reference DP loop on `Vec<Candidate>` lists. With `cache = None`
+    /// this is the historical from-scratch pass (arena cleared per solve);
+    /// with a cache, clean nodes are skipped, their lists cloned from the
+    /// cache at the parent's merge, recomputed lists snapshotted back, and
+    /// the *cache's* arena used append-only so cached `PredRef`s stay valid
+    /// across solves.
+    fn solve_impl_reference(
         &self,
         workspace: &mut SolveWorkspace,
         cache: Option<&mut SubtreeCache>,
@@ -284,6 +395,7 @@ impl<'a> Solver<'a> {
             arena: ws_arena,
             scratch,
             lists,
+            ..
         } = workspace;
         // Cached mode borrows the cache's lists/dirty bits and *its* arena
         // (append-only); scratch mode clears and reuses the workspace arena.
@@ -475,6 +587,450 @@ impl<'a> Solver<'a> {
             stats,
         }
     }
+
+    /// The DP loop on the struct-of-arrays [`CandidateSlab`] kernel — the
+    /// same algorithm as [`Solver::solve_impl_reference`] with candidates
+    /// held as columns, plus the optional intra-net parallel phase.
+    fn solve_impl_slab(
+        &self,
+        workspace: &mut SolveWorkspace,
+        cache: Option<&mut SubtreeCache>,
+    ) -> Solution {
+        let start = Instant::now();
+        let tree = self.tree;
+        let lib = self.library;
+        let track = self.options.track_predecessors;
+        let algo = self.options.algorithm;
+        let model: &dyn DelayModel = &*self.options.delay_model;
+        let limit = self.options.slew_limit.map_or(f64::INFINITY, |s| s.value());
+        let slew = SlewPolicy::new(model, lib, limit);
+
+        let mut stats = SolveStats::default();
+        let SolveWorkspace {
+            arena: ws_arena,
+            scratch,
+            slab,
+            slab_lists,
+            ..
+        } = workspace;
+        let (mut cache_state, arena) = match cache {
+            Some(c) => {
+                let (cached_lists, dirty, cache_arena) = c.parts_mut();
+                (Some((cached_lists, dirty)), cache_arena)
+            }
+            None => {
+                ws_arena.clear();
+                (None, &mut *ws_arena)
+            }
+        };
+        slab.reset();
+        slab_lists.clear();
+        slab_lists.resize(tree.node_count(), None);
+        let mut recomputed = 0u64;
+
+        let ctx = SlabCtx {
+            tree,
+            lib,
+            algo,
+            track,
+            model,
+            slew: &slew,
+        };
+
+        // Intra-net parallel phase: fork bounded sibling subtrees to worker
+        // threads, join in topology order. Scratch solves only — cached
+        // solves recompute sparse root paths with no subtree fan-out worth
+        // forking for.
+        let workers = self.options.intra_net_workers;
+        let covered: Option<Vec<bool>> = if workers > 1 && cache_state.is_none() {
+            solve_subtrees_parallel(&ctx, workers, slab, slab_lists, arena, &mut stats)
+        } else {
+            None
+        };
+
+        slab_process_nodes(
+            &ctx,
+            tree.postorder(),
+            covered.as_deref(),
+            cache_state.as_mut().map(|(l, d)| (&mut **l, &mut **d)),
+            &mut recomputed,
+            slab,
+            slab_lists,
+            arena,
+            scratch,
+            &mut stats,
+        );
+
+        let root_handle = match slab_lists[tree.root().index()].take() {
+            Some(handle) => handle,
+            None => {
+                // Every node was clean (a re-solve with no edits): the root
+                // list comes straight from the cache.
+                let (cached_lists, _) = cache_state
+                    .as_ref()
+                    .expect("the root is only skipped in cached mode");
+                slab.load_list(
+                    cached_lists[tree.root().index()]
+                        .as_ref()
+                        .expect("clean root is cached"),
+                )
+            }
+        };
+        if cache_state.is_some() {
+            stats.nodes_recomputed = recomputed;
+            stats.nodes_reused = tree.node_count() as u64 - recomputed;
+        }
+        stats.root_list_len = slab.len(root_handle);
+        let driver = tree.driver();
+        let (dr, dk) = (
+            driver.resistance().value(),
+            driver.intrinsic_delay().value(),
+        );
+        let view = slab.view(root_handle);
+        // Root selection replicates the reference path: unconstrained
+        // argmax, else feasible-filtered argmax with a least-bad fallback.
+        let (best, slew_ok) = if !slew.active() {
+            let i = slab
+                .best_driven(root_handle, dr, dk)
+                .expect("candidate lists are never empty");
+            (view.get(i), true)
+        } else {
+            let mut choice: Option<usize> = None;
+            for i in 0..view.len() {
+                // `<=` then negate: a NaN stage is infeasible, same as the
+                // reference's `feasible` closure.
+                let feasible = dr * view.c[i] + view.s[i] <= slew.cap;
+                if !feasible {
+                    continue;
+                }
+                let better = match choice {
+                    None => true,
+                    Some(b) => view.get(i).driven_q(dr, dk) > view.get(b).driven_q(dr, dk),
+                };
+                if better {
+                    choice = Some(i);
+                }
+            }
+            match choice {
+                Some(i) => (view.get(i), true),
+                None => {
+                    // First minimum by total order — the reference's
+                    // `min_by(total_cmp)` keeps the earliest minimum.
+                    let mut least = 0usize;
+                    for i in 1..view.len() {
+                        let vi = dr * view.c[i] + view.s[i];
+                        let vl = dr * view.c[least] + view.s[least];
+                        if vi.total_cmp(&vl) == std::cmp::Ordering::Less {
+                            least = i;
+                        }
+                    }
+                    (view.get(least), false)
+                }
+            }
+        };
+        let root_slew = Seconds::new(model.slew(0.0, dr, best.c, best.s));
+
+        let placements = if track {
+            arena
+                .collect_placements(best.pred)
+                .into_iter()
+                .map(Into::into)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        stats.arena_entries = arena.len();
+        stats.slab_bytes_peak = stats.slab_bytes_peak.max(slab.peak_bytes());
+        stats.elapsed = start.elapsed();
+
+        Solution {
+            slack: Seconds::new(best.q - dk - dr * best.c),
+            root_q: Seconds::new(best.q),
+            root_load: Farads::new(best.c),
+            placements,
+            algorithm: algo,
+            tracked: track,
+            root_slew,
+            slew_ok,
+            stats,
+        }
+    }
+}
+
+/// Shared read-only context of one slab-kernel solve, threaded through the
+/// node-processing loop and the parallel subtree tasks.
+#[derive(Clone, Copy)]
+struct SlabCtx<'a> {
+    tree: &'a RoutingTree,
+    lib: &'a BufferLibrary,
+    algo: Algorithm,
+    track: bool,
+    model: &'a dyn DelayModel,
+    slew: &'a SlewPolicy,
+}
+
+/// Runs the bottom-up DP body over `nodes` (a postorder sequence) on the
+/// slab kernel. `covered` nodes are skipped (they were solved by a parallel
+/// task whose root list is already in `slab_lists`); in cached mode, clean
+/// nodes are skipped and recomputed lists are snapshotted back.
+///
+/// This is the single implementation the sequential pass, the cached pass,
+/// and every parallel subtree task execute — which is what makes the
+/// parallel mode trivially bit-identical: the same code runs the same
+/// per-node arithmetic regardless of which thread hosts it.
+#[allow(clippy::too_many_arguments)]
+fn slab_process_nodes(
+    ctx: &SlabCtx<'_>,
+    nodes: &[NodeId],
+    covered: Option<&[bool]>,
+    mut cache_state: Option<(&mut Vec<Option<CandidateList>>, &mut Vec<bool>)>,
+    recomputed: &mut u64,
+    slab: &mut CandidateSlab,
+    slab_lists: &mut [Option<SlabList>],
+    arena: &mut PredArena,
+    scratch: &mut Scratch,
+    stats: &mut SolveStats,
+) {
+    for &node in nodes {
+        if covered.is_some_and(|cov| cov[node.index()]) {
+            continue; // solved by a parallel subtree task
+        }
+        if let Some((_, dirty)) = cache_state.as_ref() {
+            if !dirty[node.index()] {
+                continue; // clean subtree: its cached list is reused
+            }
+        }
+        let list = match ctx.tree.kind(node) {
+            NodeKind::Sink {
+                capacitance,
+                required_arrival,
+            } => slab.sink(required_arrival.value(), capacitance.value()),
+            NodeKind::Internal | NodeKind::Source { .. } => {
+                let mut acc: Option<SlabList> = None;
+                for &child in ctx.tree.children(node) {
+                    let cl = match slab_lists[child.index()].take() {
+                        Some(cl) => cl,
+                        None => {
+                            let (cached_lists, _) = cache_state
+                                .as_ref()
+                                .expect("only clean cached children are skipped");
+                            slab.load_list(
+                                cached_lists[child.index()]
+                                    .as_ref()
+                                    .expect("clean children are always cached"),
+                            )
+                        }
+                    };
+                    let wire = ctx
+                        .tree
+                        .wire_to_parent(child)
+                        .expect("non-root child has a wire");
+                    slab.add_wire(
+                        cl,
+                        ctx.model,
+                        wire.resistance().value(),
+                        wire.capacitance().value(),
+                        stats,
+                    );
+                    if ctx.slew.active() {
+                        stats.slew_pruned += slab.prune_slew(cl, ctx.slew.cap) as u64;
+                    }
+                    stats.wire_ops += 1;
+                    acc = Some(match acc {
+                        None => cl,
+                        Some(prev) => {
+                            stats.merge_ops += 1;
+                            slab.merge(prev, cl, arena, ctx.track, ctx.slew.cap, stats)
+                        }
+                    });
+                }
+                let list = acc.expect("internal nodes have children");
+                if ctx.tree.is_buffer_site(node) {
+                    add_buffers_slab(
+                        ctx.algo,
+                        slab,
+                        list,
+                        ctx.lib,
+                        ctx.tree.site_constraint(node),
+                        node,
+                        ctx.tree.site_variation(node),
+                        arena,
+                        ctx.track,
+                        scratch,
+                        ctx.slew,
+                        stats,
+                    );
+                }
+                list
+            }
+        };
+        stats.max_list_len = stats.max_list_len.max(slab.len(list));
+        if let Some((cached_lists, dirty)) = cache_state.as_mut() {
+            store_snapshot_view(&mut cached_lists[node.index()], slab.view(list));
+            dirty[node.index()] = false;
+            *recomputed += 1;
+        }
+        slab_lists[node.index()] = Some(list);
+    }
+}
+
+/// Minimum subtree size worth forking to a worker thread.
+const MIN_TASK_NODES: usize = 8;
+/// Minimum net size for the intra-net parallel phase to engage at all.
+const MIN_PARALLEL_NODES: usize = 64;
+
+/// What one parallel subtree task hands back to the coordinator: its root
+/// candidate list (at the AoS boundary), the private arena its `PredRef`s
+/// index, and its operation counters.
+struct TaskResult {
+    list: CandidateList,
+    arena: PredArena,
+    stats: SolveStats,
+}
+
+/// Solves bounded sibling subtrees of the net on `workers` threads and
+/// splices the results back in **topology order** (ascending postorder
+/// position of the task roots — never completion order), so the main pass
+/// observes exactly the lists and arena layout determinism requires.
+///
+/// Returns the cover mask (`true` = node handled by a task) for the main
+/// pass to skip, or `None` when the net is too small to partition.
+///
+/// Partition: the iterative-DFS postorder makes every subtree a contiguous
+/// range `post[pos(v)-size(v)+1 ..= pos(v)]`, so a task is just a slice of
+/// the postorder. A top-down sweep (reverse postorder) marks the highest
+/// subtrees whose size fits under the grain as task roots; everything
+/// below them is covered. The tree root is never a task root, so the main
+/// pass always has work left to join the pieces.
+fn solve_subtrees_parallel(
+    ctx: &SlabCtx<'_>,
+    workers: usize,
+    slab: &mut CandidateSlab,
+    slab_lists: &mut [Option<SlabList>],
+    arena: &mut PredArena,
+    stats: &mut SolveStats,
+) -> Option<Vec<bool>> {
+    let tree = ctx.tree;
+    let post = tree.postorder();
+    let n = post.len();
+    if n < MIN_PARALLEL_NODES {
+        return None;
+    }
+    let mut pos = vec![0usize; tree.node_count()];
+    let mut size = vec![1usize; tree.node_count()];
+    for (i, &node) in post.iter().enumerate() {
+        pos[node.index()] = i;
+        // Children precede their parent in postorder: their sizes are final.
+        for &child in tree.children(node) {
+            size[node.index()] += size[child.index()];
+        }
+    }
+    // Aim for ~4 tasks per worker, but keep the acceptance band
+    // `[MIN_TASK_NODES, grain]` wide enough that bushy trees always shatter
+    // into several tasks.
+    let grain = (n / (workers * 4)).max(4 * MIN_TASK_NODES);
+    let mut covered = vec![false; tree.node_count()];
+    let mut task_roots: Vec<NodeId> = Vec::new();
+    for &node in post.iter().rev() {
+        if let Some(parent) = tree.parent(node) {
+            if covered[parent.index()] {
+                covered[node.index()] = true;
+                continue;
+            }
+            let sz = size[node.index()];
+            if sz >= MIN_TASK_NODES && sz <= grain {
+                covered[node.index()] = true;
+                task_roots.push(node);
+            }
+        }
+    }
+    if task_roots.len() < 2 {
+        // Nothing to overlap: run fully sequential rather than paying the
+        // fork/join overhead for one task.
+        for &node in &task_roots {
+            covered[node.index()] = false;
+        }
+        return None;
+    }
+    task_roots.sort_by_key(|t| pos[t.index()]);
+
+    let results: Vec<Mutex<Option<TaskResult>>> =
+        (0..task_roots.len()).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..task_roots.len() {
+        tx.send(i).expect("receiver is alive");
+    }
+    drop(tx);
+    let threads = workers.min(task_roots.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let task_roots = &task_roots;
+            let pos = &pos;
+            let size = &size;
+            scope.spawn(move || {
+                // Per-worker state, reused across this worker's tasks. The
+                // lists vector returns to all-`None` after each task: every
+                // interior list is consumed by its parent and the task
+                // root's is taken below.
+                let mut slab = CandidateSlab::default();
+                let mut scratch = Scratch::default();
+                let mut lists: Vec<Option<SlabList>> = vec![None; ctx.tree.node_count()];
+                while let Ok(ti) = rx.recv() {
+                    let troot = task_roots[ti];
+                    let (p, sz) = (pos[troot.index()], size[troot.index()]);
+                    let range = &post[p + 1 - sz..=p];
+                    let mut task_arena = PredArena::new();
+                    let mut task_stats = SolveStats::default();
+                    slab.reset();
+                    slab_process_nodes(
+                        ctx,
+                        range,
+                        None,
+                        None,
+                        &mut 0,
+                        &mut slab,
+                        &mut lists,
+                        &mut task_arena,
+                        &mut scratch,
+                        &mut task_stats,
+                    );
+                    let handle = lists[troot.index()].take().expect("task root was computed");
+                    task_stats.slab_bytes_peak = slab.peak_bytes();
+                    let list = slab.to_candidate_list(handle);
+                    *results[ti].lock().expect("task slot lock") = Some(TaskResult {
+                        list,
+                        arena: task_arena,
+                        stats: task_stats,
+                    });
+                }
+            });
+        }
+    });
+
+    // Join in task-root topology order: splice each private arena onto the
+    // shared one (uniform backward-reference shift — see
+    // `PredArena::append_remapped`), remap the boundary list's refs, and
+    // load it into the slab for the main pass to consume.
+    for (ti, &troot) in task_roots.iter().enumerate() {
+        let result = results[ti]
+            .lock()
+            .expect("task slot lock")
+            .take()
+            .expect("every task completed");
+        let offset = arena.append_remapped(&result.arena);
+        let mut list = result.list;
+        if ctx.track {
+            for cand in list.as_mut_vec() {
+                cand.pred = cand.pred.offset_by(offset);
+            }
+        }
+        slab_lists[troot.index()] = Some(slab.load_list(&list));
+        stats.merge_shard(&result.stats);
+        stats.parallel_subtrees += 1;
+    }
+    Some(covered)
 }
 
 #[cfg(test)]
@@ -998,6 +1554,104 @@ mod tests {
                 assert_eq!(eco.placements, fresh.placements, "{algo} edit {i}");
             }
         }
+    }
+
+    #[test]
+    fn slab_kernel_is_bit_identical_to_reference_kernel() {
+        let lib = paper_lib(16);
+        for seed in 1u64..6 {
+            let tree = fastbuf_netgen::RandomNetSpec {
+                sinks: 20,
+                seed,
+                ..fastbuf_netgen::RandomNetSpec::default()
+            }
+            .build();
+            for algo in Algorithm::ALL {
+                for slew in [None, Some(Seconds::from_pico(200.0))] {
+                    let mk = |kernel: Kernel| {
+                        let mut s = Solver::new(&tree, &lib).algorithm(algo).kernel(kernel);
+                        if let Some(limit) = slew {
+                            s = s.slew_limit(limit);
+                        }
+                        s.solve()
+                    };
+                    let reference = mk(Kernel::Reference);
+                    let slab = mk(Kernel::Slab);
+                    assert_eq!(
+                        reference.slack.value().to_bits(),
+                        slab.slack.value().to_bits(),
+                        "{algo} seed {seed} slew {slew:?}"
+                    );
+                    assert_eq!(reference.placements, slab.placements);
+                    assert_eq!(reference.root_q, slab.root_q);
+                    assert_eq!(reference.root_load, slab.root_load);
+                    assert_eq!(reference.slew_ok, slab.slew_ok);
+                    assert_eq!(reference.root_slew, slab.root_slew);
+                    // Shared DP counters agree exactly; only the slab-only
+                    // counters may differ (zero on the reference path).
+                    assert_eq!(reference.stats.wire_ops, slab.stats.wire_ops);
+                    assert_eq!(reference.stats.merge_ops, slab.stats.merge_ops);
+                    assert_eq!(reference.stats.addbuffer_ops, slab.stats.addbuffer_ops);
+                    assert_eq!(reference.stats.betas_generated, slab.stats.betas_generated);
+                    assert_eq!(reference.stats.hull_builds, slab.stats.hull_builds);
+                    assert_eq!(reference.stats.hull_walk_steps, slab.stats.hull_walk_steps);
+                    assert_eq!(
+                        reference.stats.scan_candidate_visits,
+                        slab.stats.scan_candidate_visits
+                    );
+                    assert_eq!(reference.stats.max_list_len, slab.stats.max_list_len);
+                    assert_eq!(reference.stats.arena_entries, slab.stats.arena_entries);
+                    assert_eq!(reference.stats.slab_candidates_scanned, 0);
+                    assert!(slab.stats.slab_bytes_peak > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_net_parallel_is_bit_identical_at_every_worker_count() {
+        let lib = paper_lib(16);
+        for sinks in [24usize, 48] {
+            let tree = fastbuf_netgen::RandomNetSpec {
+                sinks,
+                seed: 5,
+                ..fastbuf_netgen::RandomNetSpec::default()
+            }
+            .build();
+            let sequential = Solver::new(&tree, &lib).solve();
+            for workers in [2usize, 4, 8] {
+                let parallel = Solver::new(&tree, &lib).intra_net_workers(workers).solve();
+                assert_eq!(
+                    sequential.slack.value().to_bits(),
+                    parallel.slack.value().to_bits(),
+                    "sinks {sinks} workers {workers}"
+                );
+                assert_eq!(sequential.placements, parallel.placements);
+                assert_eq!(sequential.stats.arena_entries, parallel.stats.arena_entries);
+                assert_eq!(sequential.stats.wire_ops, parallel.stats.wire_ops);
+                assert_eq!(sequential.stats.merge_ops, parallel.stats.merge_ops);
+                assert_eq!(sequential.stats.addbuffer_ops, parallel.stats.addbuffer_ops);
+                assert_eq!(sequential.stats.max_list_len, parallel.stats.max_list_len);
+                if tree.node_count() >= 64 {
+                    assert!(
+                        parallel.stats.parallel_subtrees > 0,
+                        "sinks {sinks} workers {workers}: expected forked subtrees"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_parsing_and_display() {
+        assert_eq!("slab".parse::<Kernel>().unwrap(), Kernel::Slab);
+        assert_eq!("reference".parse::<Kernel>().unwrap(), Kernel::Reference);
+        assert!("nope".parse::<Kernel>().is_err());
+        for k in Kernel::ALL {
+            assert_eq!(k.name().parse::<Kernel>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(Kernel::default(), Kernel::Slab);
     }
 
     #[test]

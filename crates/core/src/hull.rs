@@ -36,6 +36,49 @@ pub fn prunes_middle(a1: &Candidate, a2: &Candidate, a3: &Candidate) -> bool {
     (a2.q - a1.q) * (a3.c - a2.c) <= (a3.q - a2.q) * (a2.c - a1.c)
 }
 
+/// [`prunes_middle`] on raw coordinates — the same cross-multiplied
+/// predicate, for callers that hold candidates as separate `q`/`c` columns
+/// (the struct-of-arrays kernel). Bit-identical by construction: it is the
+/// identical expression on the identical values.
+#[inline]
+pub(crate) fn prunes_middle_vals(q1: f64, c1: f64, q2: f64, c2: f64, q3: f64, c3: f64) -> bool {
+    (q2 - q1) * (c3 - c2) <= (q3 - q2) * (c2 - c1)
+}
+
+/// [`upper_hull_into`] over separate `q`/`c` columns: appends the indices
+/// of the upper-hull vertices to `hull` (cleared first). Same Graham scan
+/// with the same comparisons in the same order, but the top two hull
+/// vertices are carried in registers so the common no-pop iteration does
+/// no indirect `hull[...]` loads.
+pub(crate) fn upper_hull_cols(qs: &[f64], cs: &[f64], hull: &mut Vec<u32>) {
+    debug_assert_eq!(qs.len(), cs.len());
+    hull.clear();
+    let n = qs.len();
+    if n == 0 {
+        return;
+    }
+    hull.push(0);
+    // (q1, c1) is the vertex below the top — meaningful once len >= 2.
+    let (mut q1, mut c1) = (0.0f64, 0.0f64);
+    let (mut q2, mut c2) = (qs[0], cs[0]);
+    for i in 1..n {
+        let (q3, c3) = (qs[i], cs[i]);
+        while hull.len() >= 2 && prunes_middle_vals(q1, c1, q2, c2, q3, c3) {
+            hull.pop();
+            q2 = q1;
+            c2 = c1;
+            if hull.len() >= 2 {
+                let i1 = hull[hull.len() - 2] as usize;
+                q1 = qs[i1];
+                c1 = cs[i1];
+            }
+        }
+        hull.push(i as u32);
+        (q1, c1) = (q2, c2);
+        (q2, c2) = (q3, c3);
+    }
+}
+
 /// Appends the indices of the upper-hull vertices of `list` to `hull`
 /// (cleared first). Graham's scan on the pre-sorted list: O(k).
 ///

@@ -59,6 +59,7 @@ mod hull;
 mod merge;
 pub mod polarity;
 mod pool;
+mod slab;
 mod slew;
 mod solution;
 mod stats;
@@ -67,7 +68,7 @@ pub use arena::{PredArena, PredEntry, PredRef};
 pub use buffering::Algorithm;
 pub use cache::SubtreeCache;
 pub use candidate::{Candidate, CandidateList};
-pub use engine::{SolveWorkspace, Solver, SolverOptions};
+pub use engine::{Kernel, SolveWorkspace, Solver, SolverOptions};
 // Re-exported so solver users can configure `SolverOptions::delay_model`
 // without importing `fastbuf-rctree` directly.
 pub use fastbuf_rctree::delay::{DelayModel, ElmoreModel, ScaledElmoreModel};

@@ -53,10 +53,12 @@ use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_rctree::{NodeId, NodeKind, RoutingTree};
 
-use crate::arena::{PredArena, PredRef};
-use crate::buffering::{find_betas, Algorithm, Scratch};
-use crate::candidate::{push_pruned_c_order, Candidate, CandidateList};
-use crate::merge::merge_branches;
+use fastbuf_rctree::delay::ElmoreModel;
+
+use crate::arena::PredArena;
+use crate::buffering::{find_betas_slab, Algorithm, Scratch};
+use crate::candidate::{push_pruned_c_order, Candidate};
+use crate::slab::{CandidateSlab, SlabList};
 use crate::slew::SlewPolicy;
 use crate::solution::Placement;
 use crate::stats::SolveStats;
@@ -228,20 +230,24 @@ pub fn check_polarity(
     Ok(())
 }
 
-/// Branch merge for polarity lists. Unlike the plain
-/// [`merge_branches`] — which passes a non-empty side through when the
-/// other is empty, correct when lists are never empty — an empty side here
-/// means "this branch cannot be satisfied with this arriving polarity", so
-/// the merged list must be empty too: the same wire feeds both branches.
+/// Branch merge for polarity lists. Unlike the plain branch merge — which
+/// passes a non-empty side through when the other is empty, correct when
+/// lists are never empty — an empty side here means "this branch cannot be
+/// satisfied with this arriving polarity", so the merged list must be empty
+/// too: the same wire feeds both branches.
 fn merge_polarized(
-    left: CandidateList,
-    right: CandidateList,
+    slab: &mut CandidateSlab,
+    left: SlabList,
+    right: SlabList,
     arena: &mut PredArena,
-) -> CandidateList {
-    if left.is_empty() || right.is_empty() {
-        return CandidateList::new();
+    stats: &mut SolveStats,
+) -> SlabList {
+    if slab.len(left) == 0 || slab.len(right) == 0 {
+        slab.free(left);
+        slab.free(right);
+        return slab.alloc();
     }
-    merge_branches(left, right, arena, true)
+    slab.merge(left, right, arena, true, f64::INFINITY, stats)
 }
 
 /// Merges two c-sorted beta groups into one nonredundant c-sorted vector.
@@ -272,11 +278,12 @@ fn merge_sorted_betas(a: Vec<Candidate>, b: Vec<Candidate>) -> Vec<Candidate> {
     out
 }
 
-/// Per-node DP state: one nonredundant list per required arriving polarity.
-#[derive(Debug, Default)]
+/// Per-node DP state: one nonredundant slab list per required arriving
+/// polarity.
+#[derive(Clone, Copy, Debug)]
 struct PolarityLists {
-    pos: CandidateList,
-    neg: CandidateList,
+    pos: SlabList,
+    neg: SlabList,
 }
 
 /// Polarity-aware optimal buffer insertion; see the [module docs](self).
@@ -340,8 +347,8 @@ impl<'a> PolaritySolver<'a> {
         let mut stats = SolveStats::default();
         let mut arena = PredArena::new();
         let mut scratch = Scratch::default();
-        let mut lists: Vec<Option<PolarityLists>> = Vec::with_capacity(tree.node_count());
-        lists.resize_with(tree.node_count(), || None);
+        let mut slab = CandidateSlab::default();
+        let mut lists: Vec<Option<PolarityLists>> = vec![None; tree.node_count()];
 
         for &node in tree.postorder() {
             let state = match tree.kind(node) {
@@ -349,66 +356,76 @@ impl<'a> PolaritySolver<'a> {
                     capacitance,
                     required_arrival,
                 } => {
-                    let single = CandidateList::sink(
-                        required_arrival.value(),
-                        capacitance.value(),
-                        PredRef::NONE,
-                    );
+                    let single = slab.sink(required_arrival.value(), capacitance.value());
+                    let empty = slab.alloc();
                     if self.negated[node.index()] {
                         PolarityLists {
-                            pos: CandidateList::new(),
+                            pos: empty,
                             neg: single,
                         }
                     } else {
                         PolarityLists {
                             pos: single,
-                            neg: CandidateList::new(),
+                            neg: empty,
                         }
                     }
                 }
                 NodeKind::Internal | NodeKind::Source { .. } => {
                     let mut acc: Option<PolarityLists> = None;
                     for &child in tree.children(node) {
-                        let mut cl = lists[child.index()]
+                        let cl = lists[child.index()]
                             .take()
                             .expect("post-order guarantees children are done");
                         let wire = tree.wire_to_parent(child).expect("child wire");
                         let (r, cw) = (wire.resistance().value(), wire.capacitance().value());
-                        cl.pos.add_wire(r, cw);
-                        cl.neg.add_wire(r, cw);
+                        slab.add_wire(cl.pos, &ElmoreModel, r, cw, &mut stats);
+                        slab.add_wire(cl.neg, &ElmoreModel, r, cw, &mut stats);
                         stats.wire_ops += 1;
                         acc = Some(match acc {
                             None => cl,
                             Some(prev) => {
                                 stats.merge_ops += 1;
                                 PolarityLists {
-                                    pos: merge_polarized(prev.pos, cl.pos, &mut arena),
-                                    neg: merge_polarized(prev.neg, cl.neg, &mut arena),
+                                    pos: merge_polarized(
+                                        &mut slab, prev.pos, cl.pos, &mut arena, &mut stats,
+                                    ),
+                                    neg: merge_polarized(
+                                        &mut slab, prev.neg, cl.neg, &mut arena, &mut stats,
+                                    ),
                                 }
                             }
                         });
                     }
-                    let mut state = acc.expect("internal nodes have children");
+                    let state = acc.expect("internal nodes have children");
                     if tree.is_buffer_site(node) && !lib.is_empty() {
-                        self.add_repeaters(&mut state, node, &mut arena, &mut scratch, &mut stats);
+                        self.add_repeaters(
+                            state,
+                            node,
+                            &mut slab,
+                            &mut arena,
+                            &mut scratch,
+                            &mut stats,
+                        );
                     }
                     state
                 }
             };
-            stats.max_list_len = stats.max_list_len.max(state.pos.len().max(state.neg.len()));
+            stats.max_list_len = stats
+                .max_list_len
+                .max(slab.len(state.pos).max(slab.len(state.neg)));
             lists[node.index()] = Some(state);
         }
 
         let root = lists[tree.root().index()].take().expect("root processed");
-        stats.root_list_len = root.pos.len();
+        stats.root_list_len = slab.len(root.pos);
         let driver = tree.driver();
         let (dr, dk) = (
             driver.resistance().value(),
             driver.intrinsic_delay().value(),
         );
-        let best = root
-            .pos
-            .best_driven(dr, dk)
+        let best = slab
+            .best_driven(root.pos, dr, dk)
+            .map(|i| slab.view(root.pos).get(i))
             .ok_or(PolarityError::Infeasible)?;
 
         let placements: Vec<Placement> = arena
@@ -421,6 +438,7 @@ impl<'a> PolaritySolver<'a> {
             .filter(|p| lib.get(p.buffer).is_inverting())
             .count();
         stats.arena_entries = arena.len();
+        stats.slab_bytes_peak = slab.peak_bytes();
         stats.elapsed = start.elapsed();
         Ok(PolaritySolution {
             slack: Seconds::new(best.q - dk - dr * best.c),
@@ -435,8 +453,9 @@ impl<'a> PolaritySolver<'a> {
     /// routed to the target list its type's polarity dictates.
     fn add_repeaters(
         &self,
-        state: &mut PolarityLists,
+        state: PolarityLists,
         node: NodeId,
+        slab: &mut CandidateSlab,
         arena: &mut PredArena,
         scratch: &mut Scratch,
         stats: &mut SolveStats,
@@ -449,12 +468,13 @@ impl<'a> PolaritySolver<'a> {
 
         for (si, source_positive) in [true, false].into_iter().enumerate() {
             let source = if source_positive {
-                &mut state.pos
+                state.pos
             } else {
-                &mut state.neg
+                state.neg
             };
-            if !find_betas(
+            if !find_betas_slab(
                 self.algorithm,
+                slab,
                 source,
                 lib,
                 constraint,
@@ -482,8 +502,8 @@ impl<'a> PolaritySolver<'a> {
         let to_pos = merge_sorted_betas(pos_a, pos_b);
         let to_neg = merge_sorted_betas(neg_a, neg_b);
         stats.betas_generated += (to_pos.len() + to_neg.len()) as u64;
-        state.pos.merge_insert(&to_pos);
-        state.neg.merge_insert(&to_neg);
+        slab.merge_insert(state.pos, &to_pos);
+        slab.merge_insert(state.neg, &to_neg);
     }
 }
 

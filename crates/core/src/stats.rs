@@ -46,6 +46,19 @@ pub struct SolveStats {
     /// cached solve (`nodes_recomputed + nodes_reused` = node count there);
     /// `0` for ordinary solves.
     pub nodes_reused: u64,
+    /// Candidates swept by the struct-of-arrays kernel's wire-propagation
+    /// columns (`0` under [`Kernel::Reference`](crate::Kernel)).
+    pub slab_candidates_scanned: u64,
+    /// Candidates removed by dominance pruning inside the slab kernel's
+    /// linear column sweeps (wire re-prune and branch-merge monotone stack).
+    pub slab_candidates_pruned: u64,
+    /// Peak bytes of live candidate columns held by the slab during the
+    /// solve. Under intra-net parallelism this is the largest peak of any
+    /// participating slab (main or task), not their sum.
+    pub slab_bytes_peak: usize,
+    /// Independent sibling subtrees solved on worker threads by intra-net
+    /// parallel mode (`0` for sequential solves).
+    pub parallel_subtrees: u64,
     /// Largest candidate list seen at any node.
     pub max_list_len: usize,
     /// Candidate list length at the root.
@@ -67,13 +80,38 @@ impl SolveStats {
             + self.hull_walk_steps
             + self.betas_generated
     }
+
+    /// Folds the counters of a parallel shard (one subtree task of
+    /// intra-net parallel solving) into this total: additive counters sum,
+    /// high-water marks take the maximum. `elapsed`, `root_list_len`, and
+    /// `arena_entries` are whole-solve quantities the coordinator sets at
+    /// the end and are left untouched.
+    pub fn merge_shard(&mut self, shard: &SolveStats) {
+        self.wire_ops += shard.wire_ops;
+        self.merge_ops += shard.merge_ops;
+        self.addbuffer_ops += shard.addbuffer_ops;
+        self.scan_candidate_visits += shard.scan_candidate_visits;
+        self.hull_builds += shard.hull_builds;
+        self.hull_input_candidates += shard.hull_input_candidates;
+        self.hull_walk_steps += shard.hull_walk_steps;
+        self.betas_generated += shard.betas_generated;
+        self.convex_pruned += shard.convex_pruned;
+        self.slew_pruned += shard.slew_pruned;
+        self.nodes_recomputed += shard.nodes_recomputed;
+        self.nodes_reused += shard.nodes_reused;
+        self.slab_candidates_scanned += shard.slab_candidates_scanned;
+        self.slab_candidates_pruned += shard.slab_candidates_pruned;
+        self.slab_bytes_peak = self.slab_bytes_peak.max(shard.slab_bytes_peak);
+        self.parallel_subtrees += shard.parallel_subtrees;
+        self.max_list_len = self.max_list_len.max(shard.max_list_len);
+    }
 }
 
 impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} slew_pruned={} arena={} | eco: recomputed={} reused={} | {:?}",
+            "ops: wire={} merge={} addbuf={} | addbuf work: scans={} hull_in={} walk={} betas={} | lists: max={} root={} | pruned={} slew_pruned={} arena={} | eco: recomputed={} reused={} | slab: scanned={} pruned={} peak_bytes={} par_subtrees={} | {:?}",
             self.wire_ops,
             self.merge_ops,
             self.addbuffer_ops,
@@ -88,6 +126,10 @@ impl fmt::Display for SolveStats {
             self.arena_entries,
             self.nodes_recomputed,
             self.nodes_reused,
+            self.slab_candidates_scanned,
+            self.slab_candidates_pruned,
+            self.slab_bytes_peak,
+            self.parallel_subtrees,
             self.elapsed,
         )
     }

@@ -56,6 +56,50 @@ pub trait DelayModel: fmt::Debug + Send + Sync {
     /// downstream load `load`. The Elmore form is `r·(cw/2 + load)`.
     fn wire_delay(&self, r: f64, cw: f64, load: f64) -> f64;
 
+    /// Batched [`DelayModel::wire_delay`]: clears `out` and fills it with
+    /// the delay of the wire `(r, cw)` driving each load of `loads`, in
+    /// order.
+    ///
+    /// The default body calls [`DelayModel::wire_delay`] per element.
+    /// Because Rust instantiates default bodies once per implementing type,
+    /// the inner call is *static* even when this method is invoked through
+    /// `dyn DelayModel` — one virtual dispatch per wire instead of one per
+    /// candidate, and a branch-free loop the compiler can vectorize. The
+    /// struct-of-arrays kernel of `fastbuf-core` feeds whole capacitance
+    /// columns through here; results are bit-identical to the scalar path
+    /// by construction.
+    fn wire_delays(&self, r: f64, cw: f64, loads: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(loads.len());
+        out.extend(loads.iter().map(|&load| self.wire_delay(r, cw, load)));
+    }
+
+    /// Fused wire shear over candidate columns: for each index `i`, with
+    /// `d = wire_delay(r, cw, c[i])` computed from the *pre-shear*
+    /// capacitance, applies `q[i] -= d`, `s[i] += d`, `c[i] += cw`.
+    ///
+    /// Same monomorphization argument as [`DelayModel::wire_delays`]: the
+    /// default body's inner `wire_delay` call is static per implementing
+    /// type, so a `dyn DelayModel` pays one virtual dispatch per wire and
+    /// the whole shear runs as a single tight loop — one memory pass over
+    /// the three lanes instead of a delay-buffer fill plus per-lane
+    /// passes. Per element the arithmetic and its order are exactly the
+    /// scalar path's, so results are bit-identical by construction.
+    ///
+    /// All three slices must have the same length. (Keeping the body free
+    /// of loop-carried state is deliberate: the per-element updates are
+    /// independent, so the loop auto-vectorizes; order restoration is the
+    /// caller's separate, rarely-triggered pass.)
+    fn wire_shear(&self, r: f64, cw: f64, q: &mut [f64], s: &mut [f64], c: &mut [f64]) {
+        debug_assert!(q.len() == c.len() && s.len() == c.len());
+        for ((q, s), c) in q.iter_mut().zip(s.iter_mut()).zip(c.iter_mut()) {
+            let d = self.wire_delay(r, cw, *c);
+            *q -= d;
+            *s += d;
+            *c += cw;
+        }
+    }
+
     /// Delay of a gate (buffer or driver) with intrinsic delay `k` and
     /// output resistance `r` driving `load`: always `k + r·load`.
     ///

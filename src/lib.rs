@@ -79,7 +79,7 @@ pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
-    CandidateList, DelayModel, ElmoreModel, Placement, PredArena, PredEntry, PredRef,
+    CandidateList, DelayModel, ElmoreModel, Kernel, Placement, PredArena, PredEntry, PredRef,
     ScaledElmoreModel, Solution, SolveStats, SolveWorkspace, Solver, SolverOptions, SubtreeCache,
     VerifyError,
 };
@@ -99,8 +99,8 @@ pub mod prelude {
     pub use fastbuf_core::cost::CostSolver;
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
     pub use fastbuf_core::{
-        Algorithm, DelayModel, ElmoreModel, ScaledElmoreModel, Solution, SolveWorkspace, Solver,
-        SolverOptions, SubtreeCache,
+        Algorithm, DelayModel, ElmoreModel, Kernel, ScaledElmoreModel, Solution, SolveWorkspace,
+        Solver, SolverOptions, SubtreeCache,
     };
     pub use fastbuf_incremental::{EcoError, Edit, EditScriptSpec, IncrementalSolver};
     pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
