@@ -20,6 +20,7 @@ mod batch;
 mod eco;
 mod frontier;
 mod gen;
+mod global;
 mod info;
 mod serve;
 mod solve;
@@ -65,6 +66,18 @@ const USAGE: &str = "usage:
                      --random N generates a reproducible N-edit script at
                      --locality (default 0.1); --emit-edits saves it.)
   fastbuf frontier  --net FILE --lib FILE [--max-cost W]
+  fastbuf global    --lib FILE [--nets N] [--pool N] [--sites-per-net N] [--seed S]
+                    [--cap N] [--capacity FILE] [--max-iters N] [--workers N]
+                    [--step-ps PS] [--growth F] [--scratch] [--algo A] [--model M]
+                    [--history] [--per-site] [--json FILE]
+                    (design-level resource-constrained buffering: a seeded
+                     fleet of nets contends for a shared pool of physical
+                     buffer sites, and a Lagrangian pricing loop re-solves
+                     each net optimally against per-site prices until no
+                     site exceeds its capacity. --capacity overrides the
+                     uniform --cap (default 1) with `site <id> <capacity>`
+                     lines; --scratch disables the warm per-net caches;
+                     exits 2 if the --max-iters cap is hit infeasible.)
   fastbuf serve     (--stdio | --port N) [--host H] [--workers N]
                     [--max-designs N] [--max-inflight N] [--deadline-ms MS]
                     [--model M] [--preload ID=NET,LIB]
@@ -153,6 +166,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("batch") => batch::batch(&argv[1..]),
         Some("eco") => eco::eco(&argv[1..]),
         Some("frontier") => frontier::frontier(&argv[1..]),
+        Some("global") => global::global(&argv[1..]),
         Some("serve") => serve::serve(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");

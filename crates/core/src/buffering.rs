@@ -137,6 +137,13 @@ fn params(lib: &BufferLibrary, id: BufferTypeId, variation: SiteVariation) -> (f
 }
 
 /// Runs the `AddBuffer` operation for `algo` on `list` at `node`.
+///
+/// `price` is the node's usage price in seconds (zero when unpriced): every
+/// buffered candidate `β_i` pays it as extra intrinsic delay, which keeps
+/// the priced subproblem exact — the α selection maximizes `Q − R·C` and a
+/// constant subtraction from every `β_i` at one node changes neither the
+/// argmax nor the hull-walk order (Lemmas 1/4). Subtracting `0.0` is
+/// bit-exact, so unpriced solves reproduce the historical values.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn add_buffers(
     algo: Algorithm,
@@ -145,6 +152,7 @@ pub(crate) fn add_buffers(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -152,7 +160,7 @@ pub(crate) fn add_buffers(
     stats: &mut SolveStats,
 ) {
     if !find_betas(
-        algo, list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+        algo, list, lib, constraint, node, variation, price, arena, track, scratch, slew, stats,
     ) {
         return;
     }
@@ -188,6 +196,7 @@ pub(crate) fn find_betas(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -204,20 +213,21 @@ pub(crate) fn find_betas(
     match algo {
         Algorithm::Lillis => {
             find_alphas_scan(
-                list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+                list, lib, constraint, node, variation, price, arena, track, scratch, slew, stats,
             );
         }
         Algorithm::LiShi => {
             if slew.active() {
                 find_alphas_scan(
-                    list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+                    list, lib, constraint, node, variation, price, arena, track, scratch, slew,
+                    stats,
                 );
             } else {
                 upper_hull_into(list.as_slice(), &mut scratch.hull);
                 stats.hull_builds += 1;
                 stats.hull_input_candidates += list.len() as u64;
                 find_alphas_walk(
-                    list, lib, constraint, node, variation, arena, track, scratch, stats,
+                    list, lib, constraint, node, variation, price, arena, track, scratch, stats,
                 );
             }
         }
@@ -227,7 +237,8 @@ pub(crate) fn find_betas(
             stats.convex_pruned += convex_prune_in_place(list) as u64;
             if slew.active() {
                 find_alphas_scan(
-                    list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+                    list, lib, constraint, node, variation, price, arena, track, scratch, slew,
+                    stats,
                 );
             } else {
                 stats.hull_builds += 1;
@@ -235,7 +246,7 @@ pub(crate) fn find_betas(
                 scratch.hull.clear();
                 scratch.hull.extend(0..list.len() as u32);
                 find_alphas_walk(
-                    list, lib, constraint, node, variation, arena, track, scratch, stats,
+                    list, lib, constraint, node, variation, price, arena, track, scratch, stats,
                 );
             }
         }
@@ -253,6 +264,7 @@ fn find_alphas_scan(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -285,7 +297,7 @@ fn find_alphas_scan(
         }
         if let Some(alpha) = best {
             scratch.beta_slots[id.index()] =
-                Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
+                Some(make_beta(alpha, id, r, k, c_in, price, node, arena, track));
         }
     }
 }
@@ -301,6 +313,7 @@ fn find_alphas_walk(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -348,7 +361,8 @@ fn find_alphas_walk(
             }
             &cands[hull[ptr] as usize]
         };
-        scratch.beta_slots[id.index()] = Some(make_beta(alpha, id, r, k, c_in, node, arena, track));
+        scratch.beta_slots[id.index()] =
+            Some(make_beta(alpha, id, r, k, c_in, price, node, arena, track));
     }
 }
 
@@ -366,6 +380,7 @@ pub(crate) fn add_buffers_slab(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -373,7 +388,8 @@ pub(crate) fn add_buffers_slab(
     stats: &mut SolveStats,
 ) {
     if !find_betas_slab(
-        algo, slab, list, lib, constraint, node, variation, arena, track, scratch, slew, stats,
+        algo, slab, list, lib, constraint, node, variation, price, arena, track, scratch, slew,
+        stats,
     ) {
         return;
     }
@@ -399,6 +415,7 @@ pub(crate) fn find_betas_slab(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -420,6 +437,7 @@ pub(crate) fn find_betas_slab(
                 constraint,
                 node,
                 variation,
+                price,
                 arena,
                 track,
                 scratch,
@@ -435,6 +453,7 @@ pub(crate) fn find_betas_slab(
                     constraint,
                     node,
                     variation,
+                    price,
                     arena,
                     track,
                     scratch,
@@ -447,7 +466,7 @@ pub(crate) fn find_betas_slab(
                 stats.hull_builds += 1;
                 stats.hull_input_candidates += view.len() as u64;
                 find_alphas_walk_slab(
-                    view, lib, constraint, node, variation, arena, track, scratch, stats,
+                    view, lib, constraint, node, variation, price, arena, track, scratch, stats,
                 );
             }
         }
@@ -460,6 +479,7 @@ pub(crate) fn find_betas_slab(
                     constraint,
                     node,
                     variation,
+                    price,
                     arena,
                     track,
                     scratch,
@@ -473,7 +493,7 @@ pub(crate) fn find_betas_slab(
                 scratch.hull.clear();
                 scratch.hull.extend(0..view.len() as u32);
                 find_alphas_walk_slab(
-                    view, lib, constraint, node, variation, arena, track, scratch, stats,
+                    view, lib, constraint, node, variation, price, arena, track, scratch, stats,
                 );
             }
         }
@@ -490,6 +510,7 @@ fn find_alphas_scan_slab(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -527,7 +548,7 @@ fn find_alphas_scan_slab(
         if let Some(i) = best {
             let alpha = view.get(i);
             scratch.beta_slots[id.index()] =
-                Some(make_beta(&alpha, id, r, k, c_in, node, arena, track));
+                Some(make_beta(&alpha, id, r, k, c_in, price, node, arena, track));
         }
     }
 }
@@ -541,6 +562,7 @@ fn find_alphas_walk_slab(
     constraint: &SiteConstraint,
     node: NodeId,
     variation: SiteVariation,
+    price: f64,
     arena: &mut PredArena,
     track: bool,
     scratch: &mut Scratch,
@@ -595,12 +617,14 @@ fn find_alphas_walk_slab(
             }
             view.get(hull[ptr] as usize)
         };
-        beta_slots[id.index()] = Some(make_beta(&alpha, id, r, k, c_in, node, arena, track));
+        beta_slots[id.index()] = Some(make_beta(&alpha, id, r, k, c_in, price, node, arena, track));
     }
     stats.hull_walk_steps += walk_steps;
 }
 
-/// Builds `β_i` from its best candidate `α_i`.
+/// Builds `β_i` from its best candidate `α_i`. The node's usage `price`
+/// is charged like extra intrinsic delay; `x − 0.0` is bit-exact for every
+/// finite `x`, so unpriced solves are unchanged.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn make_beta(
@@ -609,6 +633,7 @@ fn make_beta(
     r: f64,
     k: f64,
     c_in: f64,
+    price: f64,
     node: NodeId,
     arena: &mut PredArena,
     track: bool,
@@ -622,7 +647,7 @@ fn make_beta(
     } else {
         PredRef::NONE
     };
-    Candidate::new(alpha.driven_q(r, k), c_in, pred)
+    Candidate::new(alpha.driven_q(r, k) - price, c_in, pred)
 }
 
 #[cfg(test)]
@@ -669,6 +694,7 @@ mod tests {
             &SiteConstraint::AnyBuffer,
             NodeId::new(0),
             SiteVariation::NOMINAL,
+            0.0,
             &mut arena,
             false,
             &mut scratch,
@@ -775,6 +801,7 @@ mod tests {
             &constraint,
             NodeId::new(0),
             SiteVariation::NOMINAL,
+            0.0,
             &mut arena,
             false,
             &mut scratch,
@@ -801,6 +828,7 @@ mod tests {
             &SiteConstraint::NotASite,
             NodeId::new(0),
             SiteVariation::NOMINAL,
+            0.0,
             &mut arena,
             false,
             &mut scratch,
@@ -883,6 +911,7 @@ mod tests {
                 &SiteConstraint::AnyBuffer,
                 NodeId::new(0),
                 SiteVariation::NOMINAL,
+                0.0,
                 &mut arena,
                 false,
                 &mut scratch,
@@ -913,6 +942,7 @@ mod tests {
             &SiteConstraint::AnyBuffer,
             NodeId::new(0),
             SiteVariation::NOMINAL,
+            0.0,
             &mut arena,
             false,
             &mut scratch,
@@ -953,6 +983,7 @@ mod tests {
                 &SiteConstraint::AnyBuffer,
                 NodeId::new(0),
                 SiteVariation::NOMINAL,
+                0.0,
                 &mut arena,
                 false,
                 &mut scratch,

@@ -30,6 +30,13 @@
 //!   the next cached solve. `fastbuf-incremental`'s `IncrementalSolver` is
 //!   the safe wrapper that owns both the tree and the cache and keeps them
 //!   in sync; use it unless you are building such a wrapper yourself.
+//! * [`SolverOptions::site_prices`] is deliberately **excluded** from the
+//!   fingerprint: re-pricing a node is a localized edit (only that node's
+//!   root path changes), and fingerprint-flushing on every price update
+//!   would defeat the warm iterations of the Lagrangian global loop.
+//!   Whoever changes a price therefore owes the same
+//!   [`SubtreeCache::mark_path_dirty`] call a tree edit does —
+//!   `IncrementalSolver::set_site_price` is the safe wrapper.
 //! * The cache is keyed by node id and assumes edits are **topology
 //!   preserving** (same node count, parents, and post-order). The
 //!   fingerprint includes the node count as a backstop, but reusing one

@@ -127,6 +127,7 @@ pub struct CostSolver<'a> {
     library: &'a BufferLibrary,
     max_cost: u32,
     algorithm: Algorithm,
+    site_prices: Option<std::sync::Arc<[f64]>>,
 }
 
 impl<'a> CostSolver<'a> {
@@ -138,6 +139,7 @@ impl<'a> CostSolver<'a> {
             library,
             max_cost: 64,
             algorithm: Algorithm::LiShi,
+            site_prices: None,
         }
     }
 
@@ -152,6 +154,17 @@ impl<'a> CostSolver<'a> {
     #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets (or, with `None`, clears) per-node buffer-usage prices in
+    /// seconds, indexed by node — the same Lagrangian cost term as
+    /// [`SolverOptions::site_prices`](crate::SolverOptions::site_prices):
+    /// every beta at a priced node is charged the price like extra
+    /// intrinsic delay, at every cost level of the frontier.
+    #[must_use]
+    pub fn site_prices(mut self, prices: Option<std::sync::Arc<[f64]>>) -> Self {
+        self.site_prices = prices;
         self
     }
 
@@ -178,6 +191,7 @@ impl<'a> CostSolver<'a> {
             costs.push(rounded as usize);
         }
 
+        let prices = self.site_prices.as_deref();
         let mut stats = SolveStats::default();
         let mut arena = PredArena::new();
         let mut scratch = Scratch::default();
@@ -234,6 +248,7 @@ impl<'a> CostSolver<'a> {
                                 tree.site_constraint(node),
                                 node,
                                 tree.site_variation(node),
+                                prices.map_or(0.0, |p| p.get(node.index()).copied().unwrap_or(0.0)),
                                 &mut arena,
                                 true,
                                 &mut scratch,

@@ -175,6 +175,21 @@ pub struct SolverOptions {
     /// paths, which have no sibling-subtree work worth forking for), and a
     /// no-op on small nets. Also not part of the cache fingerprint.
     pub intra_net_workers: usize,
+    /// Optional per-node buffer-usage prices in seconds, indexed by
+    /// [`NodeId::index`] (default `None` = all zero). Inserting any buffer
+    /// at node `v` charges `site_prices[v]` like extra intrinsic delay, so
+    /// the DP solves the Lagrangian-priced subproblem *exactly* — a
+    /// constant subtraction at one node changes neither the α argmax nor
+    /// the hull-walk order (see `docs/ALGORITHM.md` §10). Nodes past the
+    /// end of the slice (and a `None` slice) are unpriced; subtracting
+    /// `0.0` is bit-exact, so unpriced solves are unchanged.
+    ///
+    /// Deliberately **not** part of the [`SubtreeCache`] fingerprint:
+    /// re-pricing is a localized edit, and dirtying the affected root
+    /// paths is the caller's obligation, exactly like tree edits
+    /// (`fastbuf-incremental`'s `IncrementalSolver::set_site_price` wraps
+    /// price update + path dirtying so they can never drift apart).
+    pub site_prices: Option<Arc<[f64]>>,
 }
 
 impl Default for SolverOptions {
@@ -186,6 +201,7 @@ impl Default for SolverOptions {
             slew_limit: None,
             kernel: Kernel::default(),
             intra_net_workers: 1,
+            site_prices: None,
         }
     }
 }
@@ -300,6 +316,14 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Sets (or, with `None`, clears) the per-node buffer-usage prices
+    /// (see [`SolverOptions::site_prices`]).
+    #[must_use]
+    pub fn site_prices(mut self, prices: Option<Arc<[f64]>>) -> Self {
+        self.options.site_prices = prices;
+        self
+    }
+
     /// Runs the dynamic program and returns the best solution found.
     ///
     /// For [`Algorithm::Lillis`] and [`Algorithm::LiShi`] the result is the
@@ -389,6 +413,7 @@ impl<'a> Solver<'a> {
         let model: &dyn DelayModel = &*self.options.delay_model;
         let limit = self.options.slew_limit.map_or(f64::INFINITY, |s| s.value());
         let slew = SlewPolicy::new(model, lib, limit);
+        let prices = self.options.site_prices.as_deref();
 
         let mut stats = SolveStats::default();
         let SolveWorkspace {
@@ -485,6 +510,7 @@ impl<'a> Solver<'a> {
                             tree.site_constraint(node),
                             node,
                             tree.site_variation(node),
+                            node_price(prices, node),
                             arena,
                             track,
                             scratch,
@@ -635,6 +661,7 @@ impl<'a> Solver<'a> {
             track,
             model,
             slew: &slew,
+            prices: self.options.site_prices.as_deref(),
         };
 
         // Intra-net parallel phase: fork bounded sibling subtrees to worker
@@ -767,6 +794,16 @@ struct SlabCtx<'a> {
     track: bool,
     model: &'a dyn DelayModel,
     slew: &'a SlewPolicy,
+    /// Per-node usage prices ([`SolverOptions::site_prices`]); `Copy`
+    /// through the ctx so parallel subtree tasks price identically.
+    prices: Option<&'a [f64]>,
+}
+
+/// The usage price charged at `node`: entries past the end of the slice
+/// (and a `None` slice) are unpriced.
+#[inline]
+fn node_price(prices: Option<&[f64]>, node: NodeId) -> f64 {
+    prices.map_or(0.0, |p| p.get(node.index()).copied().unwrap_or(0.0))
 }
 
 /// Runs the bottom-up DP body over `nodes` (a postorder sequence) on the
@@ -854,6 +891,7 @@ fn slab_process_nodes(
                         ctx.tree.site_constraint(node),
                         node,
                         ctx.tree.site_variation(node),
+                        node_price(ctx.prices, node),
                         arena,
                         ctx.track,
                         scratch,

@@ -480,6 +480,7 @@ impl<'a> PolaritySolver<'a> {
                 constraint,
                 node,
                 self.tree.site_variation(node),
+                0.0,
                 arena,
                 true,
                 scratch,

@@ -1,0 +1,173 @@
+//! Convergence reporting for the pricing loop.
+
+use std::time::Duration;
+
+use fastbuf_api::json::json_f64;
+use fastbuf_buflib::units::Seconds;
+
+/// Final state of one shared site (only sites that saw usage, carry a
+/// price, or have zero capacity are reported — idle unconstrained sites
+/// are noise).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteUse {
+    /// Shared site id.
+    pub site: u32,
+    /// Buffers placed on the site in the final solutions.
+    pub usage: u32,
+    /// The site's capacity.
+    pub capacity: u32,
+    /// The site's final Lagrangian price.
+    pub price: Seconds,
+}
+
+/// One row of the iteration history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationRow {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Nets re-solved this iteration (all of them on iteration 0; after
+    /// that only nets whose mapped prices changed).
+    pub nets_resolved: usize,
+    /// Sites over capacity after this iteration's solves.
+    pub sites_overused: usize,
+    /// Total units of overuse across all sites.
+    pub total_overuse: u64,
+    /// Largest price in the vector entering this iteration's solves.
+    pub max_price: Seconds,
+}
+
+/// What the pricing loop did: convergence, utilization, and history.
+#[derive(Clone, Debug)]
+pub struct GlobalReport {
+    /// `true` when the final solutions respect every site capacity.
+    pub feasible: bool,
+    /// Iterations actually run (≤ `max_iters`).
+    pub iterations: usize,
+    /// Fleet size.
+    pub nets: usize,
+    /// Shared-site pool size.
+    pub pool_sites: u32,
+    /// Worker threads used for the inner solves.
+    pub workers: usize,
+    /// Whether per-net caches stayed warm across iterations.
+    pub warm: bool,
+    /// Buffers placed across the fleet in the final solutions.
+    pub total_buffers: usize,
+    /// Inner solves summed over all iterations (the warm-cache win shows
+    /// up here: later iterations re-solve only re-priced nets).
+    pub total_resolved: u64,
+    /// Sum of final per-net slacks.
+    pub total_slack: Seconds,
+    /// Worst final per-net slack.
+    pub worst_slack: Seconds,
+    /// Final per-site state (see [`SiteUse`] for which sites appear).
+    pub utilization: Vec<SiteUse>,
+    /// One row per iteration.
+    pub history: Vec<IterationRow>,
+    /// Wall-clock time of the whole loop.
+    pub elapsed: Duration,
+}
+
+impl GlobalReport {
+    /// Serializes the report as pretty-printed JSON using the shared
+    /// hand-rolled serializer conventions (no serde; escaped strings,
+    /// plain JSON numbers, non-finite values as `null`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512 + self.utilization.len() * 64);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"feasible\": {},\n",
+            if self.feasible { "true" } else { "false" }
+        ));
+        s.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        s.push_str(&format!("  \"nets\": {},\n", self.nets));
+        s.push_str(&format!("  \"pool_sites\": {},\n", self.pool_sites));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!(
+            "  \"warm\": {},\n",
+            if self.warm { "true" } else { "false" }
+        ));
+        s.push_str(&format!("  \"total_buffers\": {},\n", self.total_buffers));
+        s.push_str(&format!("  \"total_resolved\": {},\n", self.total_resolved));
+        s.push_str(&format!(
+            "  \"total_slack_ps\": {},\n",
+            json_f64(self.total_slack.picos())
+        ));
+        s.push_str(&format!(
+            "  \"worst_slack_ps\": {},\n",
+            json_f64(self.worst_slack.picos())
+        ));
+        s.push_str(&format!(
+            "  \"elapsed_ms\": {},\n",
+            json_f64(self.elapsed.as_secs_f64() * 1e3)
+        ));
+        s.push_str("  \"utilization\": [\n");
+        for (i, u) in self.utilization.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"site\": {}, \"usage\": {}, \"capacity\": {}, \"price_ps\": {}}}{}\n",
+                u.site,
+                u.usage,
+                u.capacity,
+                json_f64(u.price.picos()),
+                if i + 1 < self.utilization.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"history\": [\n");
+        for (i, row) in self.history.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"iter\": {}, \"nets_resolved\": {}, \"sites_overused\": {}, \
+                 \"total_overuse\": {}, \"max_price_ps\": {}}}{}\n",
+                row.iter,
+                row.nets_resolved,
+                row.sites_overused,
+                row.total_overuse,
+                json_f64(row.max_price.picos()),
+                if i + 1 < self.history.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// A one-paragraph human summary for CLI text output.
+    pub fn summary(&self) -> String {
+        let verdict = if self.feasible {
+            "feasible".to_owned()
+        } else {
+            let still: u64 = self
+                .history
+                .last()
+                .map(|row| row.total_overuse)
+                .unwrap_or(0);
+            format!("NOT feasible ({still} units of overuse remain)")
+        };
+        format!(
+            "{} after {} iteration(s): {} nets over {} shared sites, \
+             {} buffers placed, {} inner solves total, worst slack {} ps, \
+             total slack {} ps",
+            verdict,
+            self.iterations,
+            self.nets,
+            self.pool_sites,
+            self.total_buffers,
+            self.total_resolved,
+            fmt_ps(self.worst_slack.picos()),
+            fmt_ps(self.total_slack.picos()),
+        )
+    }
+}
+
+/// Compact human formatting for picosecond quantities in [`GlobalReport::summary`].
+fn fmt_ps(ps: f64) -> String {
+    if ps.abs() >= 100.0 {
+        format!("{ps:.1}")
+    } else {
+        format!("{ps:.3}")
+    }
+}

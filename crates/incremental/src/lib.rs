@@ -55,9 +55,12 @@
 use std::error::Error;
 use std::fmt;
 
+use std::sync::Arc;
+
+use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::{BufferLibrary, LibraryError, Technology};
 use fastbuf_core::{Solution, SolveWorkspace, Solver, SolverOptions, SubtreeCache};
-use fastbuf_rctree::{RoutingTree, SiteConstraint, TreeError, Wire};
+use fastbuf_rctree::{NodeId, RoutingTree, SiteConstraint, TreeError, Wire};
 
 pub use fastbuf_netgen::eco::{parse_edits, write_edits, Edit, EditScriptSpec};
 
@@ -71,6 +74,16 @@ pub enum EcoError {
     /// An [`Edit::SwapLibrary`] named a synthetic library that cannot be
     /// built.
     Library(LibraryError),
+    /// A site-price update was rejected: the node does not exist, or the
+    /// price is not a finite value `>= 0`.
+    Price {
+        /// The rejected node.
+        node: NodeId,
+        /// The rejected price in seconds.
+        price: f64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for EcoError {
@@ -78,6 +91,15 @@ impl fmt::Display for EcoError {
         match self {
             EcoError::Tree(e) => write!(f, "edit rejected: {e}"),
             EcoError::Library(e) => write!(f, "library swap rejected: {e}"),
+            EcoError::Price {
+                node,
+                price,
+                reason,
+            } => write!(
+                f,
+                "site price {price} rejected at node {}: {reason}",
+                node.index()
+            ),
         }
     }
 }
@@ -87,6 +109,7 @@ impl Error for EcoError {
         match self {
             EcoError::Tree(e) => Some(e),
             EcoError::Library(e) => Some(e),
+            EcoError::Price { .. } => None,
         }
     }
 }
@@ -101,6 +124,14 @@ impl From<LibraryError> for EcoError {
     fn from(e: LibraryError) -> Self {
         EcoError::Library(e)
     }
+}
+
+/// Bitwise equality of two price vectors, treating entries past either end
+/// as zero (an empty vector and an all-zero vector price identically).
+fn same_price_bits(a: &[f64], b: &[f64]) -> bool {
+    (0..a.len().max(b.len())).all(|i| {
+        a.get(i).copied().unwrap_or(0.0).to_bits() == b.get(i).copied().unwrap_or(0.0).to_bits()
+    })
 }
 
 /// Bound on the cache-owned predecessor arena before the solver flushes
@@ -129,6 +160,9 @@ pub struct IncrementalSolver {
     cache: SubtreeCache,
     workspace: SolveWorkspace,
     edits_applied: u64,
+    /// Shadow of `options.site_prices` that [`IncrementalSolver::set_site_prices`]
+    /// mutates in place; the `Arc` in the options is rebuilt once per batch.
+    site_prices: Vec<f64>,
 }
 
 impl IncrementalSolver {
@@ -144,6 +178,7 @@ impl IncrementalSolver {
             cache: SubtreeCache::new(),
             workspace: SolveWorkspace::new(),
             edits_applied: 0,
+            site_prices: Vec::new(),
         }
     }
 
@@ -159,7 +194,7 @@ impl IncrementalSolver {
     /// [`IncrementalSolver::set_options`].
     #[must_use]
     pub fn with_options(mut self, options: SolverOptions) -> Self {
-        self.options = options;
+        self.set_options(options);
         self
     }
 
@@ -189,12 +224,96 @@ impl IncrementalSolver {
         self.edits_applied
     }
 
-    /// Replaces the solver options. No explicit flush is needed: the cache
-    /// fingerprints the configuration and flushes itself on the next solve
-    /// if anything solve-relevant changed (tested in this crate — a stale
-    /// config reuse is structurally impossible).
+    /// Replaces the solver options. No explicit flush is needed for the
+    /// fingerprinted knobs: the cache fingerprints the configuration and
+    /// flushes itself on the next solve if anything solve-relevant changed
+    /// (tested in this crate — a stale config reuse is structurally
+    /// impossible). `site_prices` is *not* fingerprinted (see
+    /// [`SolverOptions::site_prices`]), so if the new options carry
+    /// different prices this method flushes the cache explicitly; prefer
+    /// [`IncrementalSolver::set_site_prices`] for warm localized
+    /// re-pricing.
     pub fn set_options(&mut self, options: SolverOptions) {
+        let new_prices = options.site_prices.as_deref().unwrap_or(&[]);
+        let changed = !same_price_bits(&self.site_prices, new_prices);
+        self.site_prices = new_prices.to_vec();
         self.options = options;
+        if changed {
+            self.cache.flush();
+        }
+    }
+
+    /// The current price charged for inserting a buffer at `node` (zero
+    /// when unpriced).
+    pub fn site_price(&self, node: NodeId) -> Seconds {
+        Seconds::new(self.site_prices.get(node.index()).copied().unwrap_or(0.0))
+    }
+
+    /// Sets the buffer-usage price of one node; see
+    /// [`IncrementalSolver::set_site_prices`].
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::Price`] for an unknown node or a non-finite / negative
+    /// price.
+    pub fn set_site_price(&mut self, node: NodeId, price: Seconds) -> Result<bool, EcoError> {
+        self.set_site_prices(&[(node, price)]).map(|n| n > 0)
+    }
+
+    /// Updates the buffer-usage prices of a batch of nodes (the Lagrangian
+    /// global loop's per-iteration re-pricing), returning how many actually
+    /// changed. A price change is a localized edit exactly like
+    /// [`Edit::DerateSite`]: only the changed nodes' root paths are
+    /// dirtied, so the next [`IncrementalSolver::solve`] recomputes just
+    /// those paths. Setting a node to its current price (bit-compared) is
+    /// a no-op that dirties nothing.
+    ///
+    /// Prices on nodes that are not buffer sites are accepted and inert —
+    /// the DP only charges prices where it can insert buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::Price`] if any node is unknown or any price is
+    /// non-finite or negative; the batch is rejected atomically (no
+    /// partial application).
+    pub fn set_site_prices(&mut self, changes: &[(NodeId, Seconds)]) -> Result<usize, EcoError> {
+        let n = self.tree.node_count();
+        for &(node, price) in changes {
+            if node.index() >= n {
+                return Err(EcoError::Price {
+                    node,
+                    price: price.value(),
+                    reason: "unknown node",
+                });
+            }
+            if !(price.value().is_finite() && price.value() >= 0.0) {
+                return Err(EcoError::Price {
+                    node,
+                    price: price.value(),
+                    reason: "price must be finite and >= 0",
+                });
+            }
+        }
+        let mut changed = 0usize;
+        for &(node, price) in changes {
+            if self.site_prices.is_empty() && price.value() == 0.0 {
+                continue; // still all-zero: nothing to materialize
+            }
+            if self.site_prices.is_empty() {
+                self.site_prices.resize(n, 0.0);
+            }
+            let slot = &mut self.site_prices[node.index()];
+            if slot.to_bits() == price.value().to_bits() {
+                continue;
+            }
+            *slot = price.value();
+            self.cache.mark_path_dirty(&self.tree, node);
+            changed += 1;
+        }
+        if changed > 0 {
+            self.options.site_prices = Some(Arc::from(self.site_prices.as_slice()));
+        }
+        Ok(changed)
     }
 
     /// Replaces the buffer library with an arbitrary one. This is the
@@ -627,6 +746,106 @@ mod tests {
             err,
             EcoError::Tree(TreeError::InvalidVariation { .. })
         ));
+    }
+
+    #[test]
+    fn price_edits_stay_bit_identical_and_dirty_only_their_paths() {
+        let mut solver = IncrementalSolver::new(net(30, 21), lib8());
+        let _ = solver.solve();
+        let n = solver.tree().node_count() as u64;
+        let sites: Vec<NodeId> = solver.tree().buffer_sites().collect();
+        assert!(sites.len() >= 2, "need sites to price");
+
+        // Pricing one deep site recomputes its root path only, and the
+        // result matches a scratch solve under the same options.
+        let deep = *sites.last().unwrap();
+        assert!(solver
+            .set_site_price(deep, Seconds::from_pico(300.0))
+            .unwrap());
+        assert_eq!(solver.site_price(deep), Seconds::from_pico(300.0));
+        let inc = solver.solve();
+        assert!(inc.stats.nodes_recomputed >= 1);
+        assert!(
+            inc.stats.nodes_recomputed < n,
+            "a single price change must not recompute the whole tree"
+        );
+        assert_identical(&inc, &solver.solve_scratch());
+
+        // Re-setting the same price (bitwise) dirties nothing.
+        assert!(!solver
+            .set_site_price(deep, Seconds::from_pico(300.0))
+            .unwrap());
+        let warm = solver.solve();
+        assert_eq!(warm.stats.nodes_recomputed, 0);
+
+        // A large-enough price evicts the buffer from the priced site.
+        assert!(solver.set_site_price(deep, Seconds::new(1.0)).unwrap());
+        let evicted = solver.solve();
+        assert!(evicted.placements.iter().all(|p| p.node != deep));
+        assert_identical(&evicted, &solver.solve_scratch());
+
+        // Restoring zero restores the unpriced solution bit-for-bit.
+        let mut baseline = IncrementalSolver::new(solver.tree().clone(), lib8());
+        assert!(solver.set_site_price(deep, Seconds::ZERO).unwrap());
+        assert_identical(&solver.solve(), &baseline.solve());
+    }
+
+    #[test]
+    fn price_batches_are_rejected_atomically() {
+        let mut solver = IncrementalSolver::new(net(12, 5), lib8());
+        let site = solver.tree().buffer_sites().next().unwrap();
+        let ghost = NodeId::new(10_000);
+
+        let err = solver
+            .set_site_prices(&[
+                (site, Seconds::from_pico(100.0)),
+                (ghost, Seconds::from_pico(50.0)),
+            ])
+            .unwrap_err();
+        assert!(
+            matches!(err, EcoError::Price { node, .. } if node == ghost),
+            "{err}"
+        );
+        // The valid first entry must not have been applied.
+        assert_eq!(solver.site_price(site), Seconds::ZERO);
+
+        // NaN cannot even be constructed (`Seconds::new` rejects it); the
+        // remaining invalid values are typed rejections here.
+        for bad in [f64::INFINITY, -1.0] {
+            let err = solver
+                .set_site_prices(&[(site, Seconds::new(bad))])
+                .unwrap_err();
+            assert!(matches!(err, EcoError::Price { .. }), "{bad}: {err}");
+            assert!(err.to_string().contains("rejected"));
+        }
+    }
+
+    /// `set_options` cannot silently reuse stale lists across a price
+    /// change: prices are excluded from the fingerprint, so the solver
+    /// flushes explicitly when they differ.
+    #[test]
+    fn set_options_with_different_prices_flushes() {
+        let mut solver = IncrementalSolver::new(net(14, 7), lib8());
+        let _ = solver.solve();
+        let n = solver.tree().node_count() as u64;
+
+        let mut priced = SolverOptions::default();
+        priced.site_prices = Some(vec![1e-10; solver.tree().node_count()].into());
+        solver.set_options(priced.clone());
+        let a = solver.solve();
+        assert_eq!(a.stats.nodes_recomputed, n);
+        assert_identical(&a, &solver.solve_scratch());
+
+        // Same prices again: warm.
+        solver.set_options(priced);
+        let warm = solver.solve();
+        assert_eq!(warm.stats.nodes_recomputed, 0);
+
+        // Back to unpriced: flushes again.
+        solver.set_options(SolverOptions::default());
+        let b = solver.solve();
+        assert_eq!(b.stats.nodes_recomputed, n);
+        assert_identical(&b, &solver.solve_scratch());
     }
 
     #[test]

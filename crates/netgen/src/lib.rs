@@ -21,7 +21,10 @@
 //!   (ECO) re-solve workloads, plus a text format for edit scripts;
 //! * [`variation`] — seeded process-variation families
 //!   ([`VariationSpec`]) that expand into
-//!   per-sample absolute edit scripts for Monte-Carlo yield solving.
+//!   per-sample absolute edit scripts for Monte-Carlo yield solving;
+//! * [`shared`] — fleets of nets contending for a *shared* pool of
+//!   physical buffer sites ([`SharedSuiteSpec`]), plus the site-capacity
+//!   text format, for the design-level pricing loop (`fastbuf-global`).
 //!
 //! Everything is seeded and deterministic: the same spec always builds the
 //! same net, so benchmark tables are reproducible run to run.
@@ -41,11 +44,13 @@ mod clock;
 pub mod eco;
 mod line;
 mod random;
+pub mod shared;
 mod suite;
 pub mod variation;
 
 pub use clock::{caterpillar_net, h_tree, HTreeSpec};
 pub use line::{line_net, LineNetSpec};
 pub use random::{RandomNetSpec, RatPolicy};
+pub use shared::{parse_capacity, write_capacity, SharedNet, SharedSuiteSpec};
 pub use suite::{heavy_tailed_sinks, SuiteSpec};
 pub use variation::{parse_variation, write_variation, Dist, VariationSpec};

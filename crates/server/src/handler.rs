@@ -10,6 +10,7 @@
 //! `unknown-design`, `deadline`, and `internal`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -201,11 +202,19 @@ fn stats(registry: &DesignRegistry) -> String {
         .iter()
         .map(|d| {
             format!(
-                "{{\"design\": {}, \"sinks\": {}, \"sites\": {}, \"eco_warm\": {}}}",
+                "{{\"design\": {}, \"sinks\": {}, \"sites\": {}, \"eco_warm\": {}, \
+                 \"solves\": {}, \"variations\": {}, \"ecos\": {}, \
+                 \"eco_warm_hits\": {}, \"eco_rebuilds\": {}, \"eco_reuse\": {}}}",
                 json_str(&d.id),
                 d.sinks,
                 d.sites,
-                d.eco_warm
+                d.eco_warm,
+                d.solves,
+                d.variations,
+                d.ecos,
+                d.eco_warm_hits,
+                d.eco_rebuilds,
+                d.eco_reuse().map_or_else(|| "null".to_owned(), json_f64)
             )
         })
         .collect();
@@ -357,6 +366,7 @@ fn solve(
             .map(|corner| wire::variation_record(corner, named, true).map_err(HandlerError::from))
             .collect::<Result<Vec<_>, _>>()?;
         check_deadline(deadline, received, "completed late")?;
+        design.metrics.variations.fetch_add(1, Ordering::Relaxed);
         return Ok(format!(
             "{{\"design\": {}, \"scenarios\": {}, \"worst_slack_ps\": {}, \"elapsed_us\": {}, \
              \"results\": [{}]}}",
@@ -390,6 +400,7 @@ fn solve(
     )?;
     // Read-only op: a blown deadline discards the result.
     check_deadline(deadline, received, "completed late")?;
+    design.metrics.solves.fetch_add(1, Ordering::Relaxed);
     Ok(result_body(
         &params.design,
         &records,
@@ -485,8 +496,11 @@ fn eco_locked(
     state: &mut DesignState,
 ) -> Result<String, HandlerError> {
     if state.eco.as_ref().is_none_or(|e| e.key != key) {
+        design.metrics.eco_rebuilds.fetch_add(1, Ordering::Relaxed);
         let solver = design.session.eco(&state.tree, scenarios)?;
         state.eco = Some(EcoState { key, solver });
+    } else {
+        design.metrics.eco_warm_hits.fetch_add(1, Ordering::Relaxed);
     }
     let eco_state = state.eco.as_mut().expect("just ensured");
     eco_state.solver.apply_all(edits)?;
@@ -515,6 +529,7 @@ fn eco_locked(
         params,
     )?;
     state.tree = tree;
+    design.metrics.ecos.fetch_add(1, Ordering::Relaxed);
     Ok(result_body(
         &params.design,
         &records,
@@ -720,6 +735,46 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert_eq!(served.to_bits(), direct.slack.picos().to_bits());
+    }
+
+    #[test]
+    fn stats_reports_per_design_request_metrics() {
+        let registry = loaded_registry();
+        let ok = |frame: &str| {
+            let v = reply(&registry, frame);
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        };
+        // Two plain solves, one variation solve, two committed ECOs (the
+        // second a warm hit), and one failed ECO batch (must not count).
+        ok(r#"{"v": 1, "op": "solve", "design": "d1"}"#);
+        ok(r#"{"v": 1, "op": "solve", "design": "d1"}"#);
+        ok(r#"{"v": 1, "op": "solve", "design": "d1",
+                "variation": "wire-r normal 1.0 0.05\nseed 7", "samples": 4}"#);
+        ok(r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 1200"]}"#);
+        ok(r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n11 900"]}"#);
+        let failed = reply(
+            &registry,
+            r#"{"v": 1, "op": "eco", "design": "d1", "edits": ["rat n2 0"]}"#,
+        );
+        assert_eq!(failed.get("ok").and_then(Json::as_bool), Some(false));
+
+        let v = reply(&registry, r#"{"v": 1, "op": "stats"}"#);
+        let row = &v
+            .get("result")
+            .unwrap()
+            .get("designs")
+            .and_then(Json::as_array)
+            .unwrap()[0];
+        let count = |key: &str| row.get(key).and_then(Json::as_u64).unwrap();
+        assert_eq!(count("solves"), 2);
+        assert_eq!(count("variations"), 1);
+        assert_eq!(count("ecos"), 2);
+        // Lookups: rebuild, warm, warm (the failed batch still hit the
+        // warm engine before its edit was rejected).
+        assert_eq!(count("eco_rebuilds"), 1);
+        assert_eq!(count("eco_warm_hits"), 2);
+        let reuse = row.get("eco_reuse").and_then(Json::as_f64).unwrap();
+        assert!((reuse - 2.0 / 3.0).abs() < 1e-12, "eco_reuse = {reuse}");
     }
 
     #[test]

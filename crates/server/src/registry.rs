@@ -36,6 +36,41 @@ pub struct DesignState {
     pub eco: Option<EcoState>,
 }
 
+/// Per-design request counters, incremented lock-free by the handler as
+/// requests complete. Counters only ever count **successful** requests
+/// (a failed solve or a rejected ECO batch leaves them untouched), with
+/// one exception: `eco_warm_hits`/`eco_rebuilds` count at engine-lookup
+/// time, so a warm hit whose edits are later rejected still registers —
+/// that is exactly the reuse the stats are there to observe.
+#[derive(Debug, Default)]
+pub struct RequestMetrics {
+    /// Plain (deterministic) solve requests completed.
+    pub solves: AtomicU64,
+    /// Monte-Carlo variation solve requests completed.
+    pub variations: AtomicU64,
+    /// ECO requests committed (tree updated).
+    pub ecos: AtomicU64,
+    /// ECO requests served by a resident warm engine (scenario
+    /// fingerprint matched).
+    pub eco_warm_hits: AtomicU64,
+    /// ECO requests that had to build (or rebuild) the engine.
+    pub eco_rebuilds: AtomicU64,
+}
+
+impl RequestMetrics {
+    /// Relaxed-load snapshot as `(solves, variations, ecos, warm_hits,
+    /// rebuilds)`.
+    fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.solves.load(Ordering::Relaxed),
+            self.variations.load(Ordering::Relaxed),
+            self.ecos.load(Ordering::Relaxed),
+            self.eco_warm_hits.load(Ordering::Relaxed),
+            self.eco_rebuilds.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// One resident design.
 #[derive(Debug)]
 pub struct Design {
@@ -46,6 +81,8 @@ pub struct Design {
     pub session: Session,
     /// Tree + ECO caches; `read` to solve, `write` to edit.
     pub state: RwLock<DesignState>,
+    /// Lifetime request counters (reset when the design is reloaded).
+    pub metrics: RequestMetrics,
     /// Logical timestamp of the last request that touched this design.
     last_used: AtomicU64,
 }
@@ -70,8 +107,27 @@ pub struct DesignStats {
     pub sites: usize,
     /// Whether a warm ECO engine is resident.
     pub eco_warm: bool,
+    /// Plain solve requests completed against this design.
+    pub solves: u64,
+    /// Variation (Monte-Carlo) solve requests completed.
+    pub variations: u64,
+    /// ECO requests committed.
+    pub ecos: u64,
+    /// ECO engine lookups that hit a resident warm engine.
+    pub eco_warm_hits: u64,
+    /// ECO engine lookups that built or rebuilt the engine.
+    pub eco_rebuilds: u64,
     /// Logical timestamp of the last touch (higher = more recent).
     pub last_used: u64,
+}
+
+impl DesignStats {
+    /// Warm-hit fraction of all ECO engine lookups, `None` before the
+    /// first ECO request.
+    pub fn eco_reuse(&self) -> Option<f64> {
+        let lookups = self.eco_warm_hits + self.eco_rebuilds;
+        (lookups > 0).then(|| self.eco_warm_hits as f64 / lookups as f64)
+    }
 }
 
 impl DesignRegistry {
@@ -105,6 +161,7 @@ impl DesignRegistry {
                 tree: Arc::new(tree),
                 eco: None,
             }),
+            metrics: RequestMetrics::default(),
             last_used: AtomicU64::new(self.tick()),
         });
         let mut designs = self.designs.lock().expect("registry lock poisoned");
@@ -150,11 +207,17 @@ impl DesignRegistry {
             .values()
             .map(|d| {
                 let state = d.state.read().expect("design lock poisoned");
+                let (solves, variations, ecos, eco_warm_hits, eco_rebuilds) = d.metrics.snapshot();
                 DesignStats {
                     id: d.id.clone(),
                     sinks: state.tree.sink_count(),
                     sites: state.tree.buffer_site_count(),
                     eco_warm: state.eco.is_some(),
+                    solves,
+                    variations,
+                    ecos,
+                    eco_warm_hits,
+                    eco_rebuilds,
                     last_used: d.last_used.load(Ordering::Relaxed),
                 }
             })

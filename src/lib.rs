@@ -27,6 +27,7 @@
 //! | [`netgen`] | `fastbuf-netgen` | deterministic synthetic nets, suites, and ECO edit scripts |
 //! | [`batch`] | `fastbuf-batch` | parallel batch solving of net fleets over a worker pool |
 //! | [`incremental`] | `fastbuf-incremental` | incremental (ECO) re-solving with per-subtree caching, bit-identical to scratch |
+//! | [`global`] | `fastbuf-global` | design-level resource-constrained buffering: a Lagrangian pricing loop over shared site capacities |
 //! | [`server`] | `fastbuf-server` | `fastbuf serve`: resident solve-as-a-service daemon (warm sessions, v1 wire protocol) |
 //!
 //! # Quick start
@@ -70,6 +71,7 @@ pub use fastbuf_api as api;
 pub use fastbuf_batch as batch;
 pub use fastbuf_buflib as buflib;
 pub use fastbuf_design as design;
+pub use fastbuf_global as global;
 pub use fastbuf_incremental as incremental;
 pub use fastbuf_netgen as netgen;
 pub use fastbuf_rctree as rctree;
@@ -101,6 +103,9 @@ pub mod prelude {
     pub use fastbuf_core::{
         Algorithm, DelayModel, ElmoreModel, Kernel, ScaledElmoreModel, Solution, SolveWorkspace,
         Solver, SolverOptions, SubtreeCache,
+    };
+    pub use fastbuf_global::{
+        GlobalNet, GlobalOptions, GlobalReport, GlobalSolver, SiteCapacityMap,
     };
     pub use fastbuf_incremental::{EcoError, Edit, EditScriptSpec, IncrementalSolver};
     pub use fastbuf_rctree::{NodeId, NodeKind, RoutingTree, SiteConstraint, TreeBuilder, Wire};
