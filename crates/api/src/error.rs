@@ -98,6 +98,12 @@ pub enum SolveError {
     /// out-of-domain parameters (non-finite, negative sigma, locality
     /// outside `(0, 1]`, …).
     InvalidVariation(String),
+    /// A skew-target bound was non-finite or negative (use `None` for
+    /// "minimize skew without a hard bound").
+    InvalidSkewBound {
+        /// The rejected bound in picoseconds.
+        skew_ps: f64,
+    },
 }
 
 impl SolveError {
@@ -125,6 +131,7 @@ impl SolveError {
             SolveError::InvalidQuantile { .. } => "invalid-quantile",
             SolveError::VariationParse { .. } => "variation-parse",
             SolveError::InvalidVariation(_) => "invalid-variation",
+            SolveError::InvalidSkewBound { .. } => "invalid-skew-bound",
         }
     }
 
@@ -149,6 +156,7 @@ impl SolveError {
             SolveError::InvalidQuantile { .. } => 22,
             SolveError::VariationParse { .. } => 23,
             SolveError::InvalidVariation(_) => 24,
+            SolveError::InvalidSkewBound { .. } => 25,
         }
     }
 }
@@ -203,6 +211,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::InvalidVariation(reason) => {
                 write!(f, "invalid variation spec: {reason}")
+            }
+            SolveError::InvalidSkewBound { skew_ps } => {
+                write!(f, "skew bound {skew_ps} ps must be finite and non-negative")
             }
         }
     }
@@ -308,6 +319,7 @@ mod tests {
                 message: "m".into(),
             },
             SolveError::InvalidVariation("r".into()),
+            SolveError::InvalidSkewBound { skew_ps: -1.0 },
         ];
         let mut kinds: Vec<&str> = variants.iter().map(SolveError::kind).collect();
         kinds.sort_unstable();

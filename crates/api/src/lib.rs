@@ -266,6 +266,56 @@ mod tests {
     }
 
     #[test]
+    fn skew_objective_gates_validates_and_matches_max_slack() {
+        let lib = lib8();
+        let session = Session::new(lib.clone());
+        let tree = fastbuf_netgen::h_tree(3);
+
+        // Unbounded skew-target is bit-identical to plain max-slack.
+        let skewed = session
+            .request(&tree)
+            .objective(Objective::SkewTarget { max_skew: None })
+            .solve()
+            .unwrap();
+        let plain = session.request(&tree).solve().unwrap();
+        let s = skewed.scenarios[0].skew().unwrap();
+        let p = plain.solution().unwrap();
+        assert_eq!(s.slack.value().to_bits(), p.slack.value().to_bits());
+        assert_eq!(s.placements, p.placements);
+        assert!(s.skew_ok);
+        assert_eq!(skewed.worst_slack().unwrap(), s.slack);
+        skewed.verify(&tree, &lib).unwrap();
+
+        // Elmore-only, like the cost and polarity DPs.
+        let err = session
+            .request(&tree)
+            .objective(Objective::SkewTarget { max_skew: None })
+            .scenario(Scenario::named("s").delay_model(Arc::new(ScaledElmoreModel::default())))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Unsupported { .. }), "{err}");
+        let err = session
+            .request(&tree)
+            .objective(Objective::SkewTarget { max_skew: None })
+            .scenario(Scenario::named("s").slew_limit(Seconds::from_pico(100.0)))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Unsupported { .. }), "{err}");
+
+        // A negative or non-finite bound is a typed error.
+        for bad in [-1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = session
+                .request(&tree)
+                .objective(Objective::SkewTarget {
+                    max_skew: Some(Seconds::from_pico(bad)),
+                })
+                .solve()
+                .unwrap_err();
+            assert!(matches!(err, SolveError::InvalidSkewBound { .. }), "{err}");
+        }
+    }
+
+    #[test]
     fn cost_objective_returns_the_frontier() {
         let lib = lib8();
         let session = Session::new(lib.clone());

@@ -7,8 +7,9 @@ use fastbuf_buflib::units::Seconds;
 use fastbuf_buflib::BufferLibrary;
 use fastbuf_core::cost::CostFrontier;
 use fastbuf_core::polarity::PolaritySolution;
+use fastbuf_core::skew::SkewSolution;
 use fastbuf_core::{Algorithm, Solution, VerifyError};
-use fastbuf_rctree::{elmore, DelayModel, RoutingTree};
+use fastbuf_rctree::{elmore, DelayModel, NodeKind, RoutingTree};
 
 use crate::error::SolveError;
 use crate::request::Objective;
@@ -27,6 +28,8 @@ pub enum ScenarioResult {
     Polarity(PolaritySolution),
     /// A Monte-Carlo slack distribution ([`Objective::YieldTarget`]).
     Variation(VariationOutcome),
+    /// A skew-aware solution ([`Objective::SkewTarget`]).
+    Skew(SkewSolution),
 }
 
 /// One scenario's result, together with the configuration that actually
@@ -82,6 +85,14 @@ impl ScenarioOutcome {
         }
     }
 
+    /// The skew-aware solution, if this scenario solved for a skew target.
+    pub fn skew(&self) -> Option<&SkewSolution> {
+        match &self.result {
+            ScenarioResult::Skew(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// The scenario's headline slack: the solution slack, the best
     /// frontier point, the polarity solution's slack, or the requested
     /// quantile of the sampled slack distribution.
@@ -91,6 +102,7 @@ impl ScenarioOutcome {
             ScenarioResult::Frontier(f) => f.points.last().map(|p| p.slack),
             ScenarioResult::Polarity(p) => Some(p.slack),
             ScenarioResult::Variation(v) => Some(v.summary.quantile_slack),
+            ScenarioResult::Skew(s) => Some(s.slack),
         }
     }
 }
@@ -212,6 +224,49 @@ impl Outcome {
                     // contract is per-sample bit-identity to a scratch
                     // solve of the sampled tree, asserted by the
                     // differential harness `tests/variation_equivalence.rs`.
+                }
+                ScenarioResult::Skew(skew) => {
+                    let report = elmore::evaluate_with(
+                        scenario_tree,
+                        library,
+                        &skew.placement_pairs(),
+                        &*so.model,
+                    )
+                    .map_err(|e| named(VerifyError::Tree(e)))?;
+                    let (predicted, measured) = (skew.slack.value(), report.slack.value());
+                    let tol = 1e-9 * predicted.abs().max(measured.abs()).max(1e-12);
+                    if (predicted - measured).abs() > tol {
+                        return Err(named(VerifyError::SlackMismatch {
+                            predicted: skew.slack,
+                            measured: report.slack,
+                        }));
+                    }
+                    // Re-measure the skew itself: arrival = RAT − slack per
+                    // sink, skew = max − min arrival.
+                    let arrivals =
+                        report
+                            .sink_slacks
+                            .iter()
+                            .map(|&(n, s)| match scenario_tree.kind(n) {
+                                NodeKind::Sink {
+                                    required_arrival, ..
+                                } => required_arrival.value() - s.value(),
+                                _ => unreachable!("sink_slacks only lists sinks"),
+                            });
+                    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+                    for a in arrivals {
+                        lo = lo.min(a);
+                        hi = hi.max(a);
+                    }
+                    let measured_skew = hi - lo;
+                    let predicted_skew = skew.skew.value();
+                    let tol = 1e-9 * measured_skew.abs().max(1e-12);
+                    if (predicted_skew - measured_skew).abs() > tol {
+                        return Err(named(VerifyError::SlackMismatch {
+                            predicted: skew.skew,
+                            measured: Seconds::new(measured_skew),
+                        }));
+                    }
                 }
                 ScenarioResult::Polarity(polarity) => {
                     let negated: &[_] = match &self.objective {

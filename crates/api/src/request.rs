@@ -6,8 +6,10 @@ use std::time::Instant;
 
 use crossbeam::channel;
 
+use fastbuf_buflib::units::Seconds;
 use fastbuf_core::cost::CostSolver;
 use fastbuf_core::polarity::PolaritySolver;
+use fastbuf_core::skew::SkewSolver;
 use fastbuf_core::{SolveWorkspace, Solver};
 use fastbuf_netgen::VariationSpec;
 use fastbuf_rctree::{NodeId, RoutingTree};
@@ -51,6 +53,19 @@ pub enum Objective {
         /// The reported slack quantile in `[0, 1]` (e.g. `0.05` asks "what
         /// slack do 95 % of dice beat?").
         quantile: f64,
+    },
+    /// Skew-aware buffering for clock trees: the max-slack recursion with
+    /// per-candidate sink arrival windows — one
+    /// [`SkewSolution`](fastbuf_core::skew::SkewSolution) per scenario.
+    /// Elmore-only, like [`Objective::SlackCost`]. With no bound the
+    /// solution is bit-identical to [`Objective::MaxSlack`] and the skew is
+    /// merely *reported*; with a bound, candidates whose window exceeds it
+    /// are pruned at merges (feasible-or-flagged, see the
+    /// [`skew`](fastbuf_core::skew) module docs for exactness caveats).
+    SkewTarget {
+        /// Hard sink-to-sink skew bound, or `None` to only report skew.
+        /// Must be finite and non-negative when set.
+        max_skew: Option<Seconds>,
     },
 }
 
@@ -395,6 +410,22 @@ impl<'a> SolveRequest<'a> {
                 ScenarioResult::Variation(crate::variation::solve_variation(
                     session, tree, scenario, &spec, *samples, *quantile, 1,
                 )?)
+            }
+            Objective::SkewTarget { max_skew } => {
+                self.require_elmore_only(scenario, &model, "skew-target solving")?;
+                if let Some(bound) = max_skew {
+                    let skew_ps = bound.picos();
+                    if !skew_ps.is_finite() || skew_ps < 0.0 {
+                        return Err(SolveError::InvalidSkewBound { skew_ps });
+                    }
+                }
+                ScenarioResult::Skew(
+                    SkewSolver::new(tree, library)
+                        .algorithm(algorithm)
+                        .track_predecessors(self.track_predecessors)
+                        .max_skew(*max_skew)
+                        .solve(),
+                )
             }
         };
 

@@ -357,6 +357,30 @@ mod tests {
         assert_eq!(summarize_samples(&infeasible, 0.5).yield_fraction, 0.0);
     }
 
+    /// Nearest-rank edge cases: `ceil(q·n)` must never index past the end
+    /// (`q = 1.0` names exactly the maximum, not `slacks[n]`), and a
+    /// single-sample sweep answers every quantile with that one sample.
+    #[test]
+    fn nearest_rank_edges_are_in_bounds() {
+        let one = vec![sample(0, 17.0, true)];
+        for q in [0.0, 1e-12, 0.5, 1.0 - f64::EPSILON, 1.0] {
+            let s = summarize_samples(&one, q);
+            assert_eq!(s.quantile_slack, Seconds::from_pico(17.0), "q = {q}");
+            assert_eq!(s.min_slack, s.max_slack);
+        }
+        // q = 1.0: ceil(1.0 * n) = n exactly — the last (maximum) element.
+        let many: Vec<SampleResult> = (0..7).map(|i| sample(i, i as f64, true)).collect();
+        assert_eq!(
+            summarize_samples(&many, 1.0).quantile_slack,
+            Seconds::from_pico(6.0)
+        );
+        // Just below 1.0 still rounds up to the last rank for small n.
+        assert_eq!(
+            summarize_samples(&many, 1.0 - f64::EPSILON).quantile_slack,
+            Seconds::from_pico(6.0)
+        );
+    }
+
     #[test]
     fn parse_wrapper_produces_typed_line_errors() {
         let err = parse_variation_spec("# ok\nwire-r normal 1.0 NaN\n").unwrap_err();

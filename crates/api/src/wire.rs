@@ -815,6 +815,89 @@ pub fn scenario_record(
     })
 }
 
+/// Serializes one skew-target scenario's
+/// [`SkewSolution`](fastbuf_core::skew::SkewSolution): the shared
+/// [`NetRecord`](crate::json::NetRecord) schema (same serializer, same
+/// prefix bytes as `batch --json` / `solve --json`) extended with the
+/// clock-tree fields `skew_ps`, `latency_min_ps`, `latency_max_ps`,
+/// `skew_ok`, and (when a bound was set) `max_skew_ps`.
+///
+/// # Errors
+///
+/// [`SolveError::Unsupported`] when the scenario did not solve for a skew
+/// target, and [`SolveError::Verify`] when the corner's tree rejects
+/// forward evaluation.
+#[allow(clippy::too_many_arguments)]
+pub fn skew_record(
+    net_name: &str,
+    index: usize,
+    tree: &RoutingTree,
+    library: &BufferLibrary,
+    corner: &ScenarioOutcome,
+    named: bool,
+    include_placements: bool,
+    max_skew: Option<fastbuf_buflib::units::Seconds>,
+) -> Result<String, SolveError> {
+    let scenario = &corner.scenario;
+    let skew = corner.skew().ok_or_else(|| SolveError::Unsupported {
+        scenario: scenario.name.clone(),
+        reason: "skew records cover skew-target solves only".into(),
+    })?;
+    let named_err = |e| SolveError::Verify {
+        scenario: scenario.name.clone(),
+        error: VerifyError::Tree(e),
+    };
+    let corner_tree = scenario.apply_derate(tree);
+    let corner_tree = &*corner_tree;
+    let before =
+        elmore::evaluate_with(corner_tree, library, &[], &*corner.model).map_err(named_err)?;
+    let measured = elmore::evaluate_with(
+        corner_tree,
+        library,
+        &skew.placement_pairs(),
+        &*corner.model,
+    )
+    .map_err(named_err)?;
+    let record = NetRecordOwned {
+        name: net_name.to_owned(),
+        index,
+        scenario: named.then(|| scenario.name.clone()),
+        sinks: tree.sink_count(),
+        sites: tree.buffer_site_count(),
+        slack_before: before.slack,
+        slack_after: skew.slack,
+        slew_before: before.max_slew,
+        max_slew: measured.max_slew,
+        // The skew DP takes no slew limit (Elmore-only, unconstrained).
+        slew_ok: true,
+        buffers: skew.placements.len(),
+        cost: skew
+            .placements
+            .iter()
+            .map(|p| library.get(p.buffer).cost())
+            .sum(),
+        elapsed: corner.elapsed,
+        placements: include_placements.then(|| skew.placements.clone()),
+    };
+    // Splice the skew fields into the shared record so the common prefix
+    // stays byte-identical to every other producer of the schema.
+    let mut json = record.to_json();
+    let popped = json.pop();
+    debug_assert_eq!(popped, Some('}'));
+    json.push_str(&format!(
+        ", \"skew_ps\": {}, \"latency_min_ps\": {}, \"latency_max_ps\": {}, \"skew_ok\": {}",
+        json_f64(skew.skew.picos()),
+        json_f64(skew.latency_min.picos()),
+        json_f64(skew.latency_max.picos()),
+        if skew.skew_ok { "true" } else { "false" },
+    ));
+    if let Some(bound) = max_skew {
+        json.push_str(&format!(", \"max_skew_ps\": {}", json_f64(bound.picos())));
+    }
+    json.push('}');
+    Ok(json)
+}
+
 /// A `SolveError` as a wire error code: the stable kebab-case kind of the
 /// variant (see [`SolveError::kind`]).
 pub fn solve_error_frame(id: Option<&Json>, error: &SolveError) -> String {

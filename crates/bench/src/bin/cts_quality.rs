@@ -1,0 +1,226 @@
+//! CTS quality: skew and slack of the clock-tree pipeline across scales.
+//!
+//! For each sink count the bench generates a seeded placement, builds the
+//! recursive-bipartition topology, and solves it twice with the skew-aware
+//! DP: once unbounded (bit-identical to the plain max-slack solver; the
+//! skew is merely reported) and once with the skew bound set to half the
+//! unbounded skew, recording how much slack the tighter clock costs and
+//! whether the pruned search still found a feasible solution.
+//!
+//! Results go to `BENCH_cts.json` (current directory) together with
+//! `hw_threads`, matching the schema conventions of the other benches.
+//!
+//! Run: `cargo run --release -p fastbuf-bench --bin cts_quality --
+//!       [--sizes N,N,...] [--seed S] [--repeats R] [--lib B] [--out FILE]
+//!       [--quick]`
+
+use std::time::{Duration, Instant};
+
+use fastbuf_bench::{fmt_duration, print_table};
+use fastbuf_buflib::units::Seconds;
+use fastbuf_buflib::BufferLibrary;
+use fastbuf_core::skew::SkewSolver;
+use fastbuf_netgen::{build_topology, CtsPlacementSpec, CtsTopologySpec};
+
+struct Options {
+    sizes: Vec<usize>,
+    seed: u64,
+    repeats: usize,
+    lib: usize,
+    out: String,
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: cts_quality [--sizes N,N,...] [--seed S] [--repeats R] [--lib B] \
+         [--out FILE] [--quick]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        sizes: vec![32, 64, 128, 256],
+        seed: 1,
+        repeats: 5,
+        lib: 8,
+        out: "BENCH_cts.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| args.next().unwrap_or_else(|| usage(what));
+        match arg.as_str() {
+            "--sizes" => {
+                opts.sizes = next("--sizes needs a value")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage("bad --sizes")))
+                    .collect()
+            }
+            "--seed" => {
+                opts.seed = next("--seed needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--repeats" => {
+                opts.repeats = next("--repeats needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --repeats"))
+            }
+            "--lib" => {
+                opts.lib = next("--lib needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --lib"))
+            }
+            "--out" => opts.out = next("--out needs a value"),
+            "--quick" => {
+                // CI smoke size: run the real pipeline in seconds.
+                opts.sizes = vec![16, 32];
+                opts.repeats = 1;
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.repeats == 0 || opts.sizes.is_empty() {
+        usage("--repeats and --sizes must be at least 1");
+    }
+    if opts.lib == 0 {
+        usage("--lib must be at least 1");
+    }
+    opts
+}
+
+struct Row {
+    sinks: usize,
+    sites: usize,
+    secs: f64,
+    skew_ps: f64,
+    slack_ps: f64,
+    buffers: usize,
+    bound_ps: f64,
+    bounded_skew_ps: f64,
+    bounded_slack_ps: f64,
+    bounded_feasible: bool,
+}
+
+fn main() {
+    let opts = parse_args();
+    let lib = BufferLibrary::paper_synthetic(opts.lib).expect("nonzero library");
+    println!(
+        "# cts quality: sizes {:?}, library {}, seed {}, {} hardware threads\n",
+        opts.sizes,
+        opts.lib,
+        opts.seed,
+        fastbuf_bench::hw_threads(),
+    );
+
+    let mut measured = Vec::new();
+    for &sinks in &opts.sizes {
+        let placements = CtsPlacementSpec {
+            sinks,
+            seed: opts.seed,
+            ..CtsPlacementSpec::default()
+        }
+        .generate();
+        let topo =
+            build_topology(&placements, &CtsTopologySpec::default()).expect("valid generated spec");
+        let tree = &topo.tree;
+
+        // Fastest-of-repeats for the unbounded (reporting) solve.
+        let mut best = Duration::MAX;
+        let mut sol = None;
+        for _ in 0..opts.repeats {
+            let start = Instant::now();
+            let s = SkewSolver::new(tree, &lib).solve();
+            best = best.min(start.elapsed());
+            sol = Some(s);
+        }
+        let sol = sol.expect("repeats >= 1");
+
+        // Tighten: half the free-running skew becomes the bound.
+        let bound = Seconds::new(sol.skew.value() * 0.5);
+        let bounded = SkewSolver::new(tree, &lib).max_skew(Some(bound)).solve();
+
+        measured.push(Row {
+            sinks,
+            sites: tree.buffer_site_count(),
+            secs: best.as_secs_f64(),
+            skew_ps: sol.skew.picos(),
+            slack_ps: sol.slack.picos(),
+            buffers: sol.placements.len(),
+            bound_ps: bound.picos(),
+            bounded_skew_ps: bounded.skew.picos(),
+            bounded_slack_ps: bounded.slack.picos(),
+            bounded_feasible: bounded.skew_ok,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|r| {
+            vec![
+                r.sinks.to_string(),
+                r.sites.to_string(),
+                fmt_duration(Duration::from_secs_f64(r.secs)),
+                format!("{:.2}", r.skew_ps),
+                format!("{:.2}", r.slack_ps),
+                r.buffers.to_string(),
+                format!("{:.2}", r.bounded_skew_ps),
+                format!("{:+.2}", r.bounded_slack_ps - r.slack_ps),
+                if r.bounded_feasible { "yes" } else { "NO" }.to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "sinks",
+            "sites",
+            "solve",
+            "skew ps",
+            "slack ps",
+            "buffers",
+            "skew@bound",
+            "slack cost",
+            "feasible",
+        ],
+        &rows,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"hw_threads\": {},\n",
+        fastbuf_bench::hw_threads()
+    ));
+    json.push_str(&format!("  \"library\": {},\n", opts.lib));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"repeats\": {},\n", opts.repeats));
+    json.push_str("  \"runs\": [\n");
+    for (k, r) in measured.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sinks\": {}, \"sites\": {}, \"secs\": {:.6}, \"skew_ps\": {:.4}, \
+             \"slack_ps\": {:.4}, \"buffers\": {}, \"bound_ps\": {:.4}, \
+             \"bounded_skew_ps\": {:.4}, \"bounded_slack_ps\": {:.4}, \
+             \"bounded_feasible\": {}}}{}\n",
+            r.sinks,
+            r.sites,
+            r.secs,
+            r.skew_ps,
+            r.slack_ps,
+            r.buffers,
+            r.bound_ps,
+            r.bounded_skew_ps,
+            r.bounded_slack_ps,
+            r.bounded_feasible,
+            if k + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("warning: cannot write {}: {e}", opts.out);
+    } else {
+        println!("\nrecorded to {}", opts.out);
+    }
+}

@@ -1,0 +1,246 @@
+//! `fastbuf cts`: the clock-tree-synthesis pipeline — sink placements in
+//! (from a file or the seeded generator), recursive-bipartition topology,
+//! skew-aware buffering, skew/latency report out.
+
+use std::fs;
+
+use fastbuf_api::{wire, Objective, Scenario, Session};
+use fastbuf_buflib::units::{Microns, Seconds};
+use fastbuf_core::polarity::{Polarity, PolaritySolver};
+use fastbuf_core::Algorithm;
+use fastbuf_netgen::{
+    build_topology, parse_placements, write_placements, CtsPlacementSpec, CtsTopologySpec,
+};
+use fastbuf_rctree::{elmore, NodeKind};
+
+use super::{io_error, load_lib, CliError};
+use crate::args::Flags;
+
+pub(super) fn cts(argv: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        argv,
+        &[
+            "placements",
+            "sinks",
+            "seed",
+            "span",
+            "lib",
+            "pitch",
+            "max-skew",
+            "algo",
+            "json",
+            "emit-placements",
+        ],
+        &["inverters", "show-placements", "no-verify"],
+    )?;
+    let lib = load_lib(&flags)?;
+    let algo: Algorithm = flags.value("algo").unwrap_or("lishi").parse()?;
+    let max_skew = match flags.value("max-skew") {
+        None => None,
+        Some(v) => {
+            let ps: f64 = v
+                .parse()
+                .map_err(|_| format!("flag `--max-skew`: cannot parse `{v}`"))?;
+            if !ps.is_finite() || ps < 0.0 {
+                return Err("--max-skew must be a non-negative number of picoseconds".into());
+            }
+            Some(Seconds::from_pico(ps))
+        }
+    };
+
+    // Sink placements: a file, or the seeded generator.
+    let (placements, net_name) = match flags.value("placements") {
+        Some(path) => {
+            for conflicting in ["sinks", "seed", "span"] {
+                if flags.value(conflicting).is_some() {
+                    return Err(format!("--{conflicting} conflicts with --placements").into());
+                }
+            }
+            let text = fs::read_to_string(path)
+                .map_err(|e| io_error(format!("cannot read `{path}`: {e}")))?;
+            let placements = parse_placements(&text).map_err(|e| format!("{path}: {e}"))?;
+            (placements, path.to_owned())
+        }
+        None => {
+            let mut spec = CtsPlacementSpec {
+                sinks: flags.parsed_or("sinks", 64usize)?,
+                seed: flags.parsed_or("seed", 1u64)?,
+                ..CtsPlacementSpec::default()
+            };
+            if spec.sinks == 0 {
+                return Err("--sinks must be at least 1".into());
+            }
+            if let Some(v) = flags.value("span") {
+                let um: f64 = v
+                    .parse()
+                    .map_err(|_| format!("flag `--span`: cannot parse `{v}`"))?;
+                if !um.is_finite() || um <= 0.0 {
+                    return Err("--span must be a positive number of microns".into());
+                }
+                spec.die = Microns::new(um);
+            }
+            let name = format!("cts-{}x{}", spec.sinks, spec.seed);
+            (spec.generate(), name)
+        }
+    };
+    if let Some(path) = flags.value("emit-placements") {
+        fs::write(path, write_placements(&placements))
+            .map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
+        println!("placements written to {path}");
+    }
+
+    // Topology: recursive bipartition, merge taps as buffer sites.
+    let mut topo_spec = CtsTopologySpec::default();
+    if let Some(v) = flags.value("pitch") {
+        let um: f64 = v
+            .parse()
+            .map_err(|_| format!("flag `--pitch`: cannot parse `{v}`"))?;
+        if um == 0.0 {
+            topo_spec.site_pitch = None;
+        } else {
+            if !um.is_finite() || um < 0.0 {
+                return Err("--pitch must be a non-negative number of microns (0 = off)".into());
+            }
+            topo_spec.site_pitch = Some(Microns::new(um));
+        }
+    }
+    let topo = build_topology(&placements, &topo_spec).map_err(CliError::from)?;
+    let tree = &topo.tree;
+    println!(
+        "{net_name}: {} sinks, {} candidate sites, topology depth {}",
+        tree.sink_count(),
+        tree.buffer_site_count(),
+        tree.stats().max_depth
+    );
+
+    if flags.switch("inverters") {
+        if flags.value("json").is_some() {
+            return Err("--json covers skew-target solves only; drop --inverters".into());
+        }
+        return cts_inverters(&flags, tree, &lib, algo, max_skew);
+    }
+
+    let session = Session::new(lib);
+    let outcome = session
+        .request(tree)
+        .objective(Objective::SkewTarget { max_skew })
+        .scenario(Scenario::default().algorithm(algo))
+        .solve()?;
+    if !flags.switch("no-verify") {
+        outcome.verify(tree, session.library())?;
+    }
+    let corner = &outcome.scenarios[0];
+    let sol = corner.skew().expect("skew-target solves produce Skew");
+
+    println!("slack:     {}", sol.slack);
+    println!(
+        "latency:   {} .. {} (insertion delay)",
+        sol.latency_min, sol.latency_max
+    );
+    println!("skew:      {}", sol.skew);
+    match max_skew {
+        Some(bound) if sol.skew_ok => println!("skew met:  yes (bound {bound})"),
+        Some(bound) => {
+            println!("skew met:  NO (bound {bound}; narrowest-window fallback reported)")
+        }
+        None => {}
+    }
+    println!("buffers:   {}", sol.placements.len());
+    if flags.switch("show-placements") {
+        for p in &sol.placements {
+            println!("  node {:>6}  buffer {}", p.node.index(), p.buffer.index());
+        }
+    }
+
+    if let Some(path) = flags.value("json") {
+        let record = wire::skew_record(
+            &net_name,
+            0,
+            tree,
+            session.library(),
+            corner,
+            false,
+            flags.switch("show-placements"),
+            max_skew,
+        )?;
+        let json = format!("{record}\n");
+        if path == "-" {
+            print!("{json}");
+        } else {
+            fs::write(path, json).map_err(|e| io_error(format!("cannot write `{path}`: {e}")))?;
+            println!("json report written to {path}");
+        }
+    }
+    if max_skew.is_some() && !sol.skew_ok {
+        return Err(CliError {
+            code: 2,
+            message: "no solution within the skew bound survived the search".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The inverter-aware path: buffering through the polarity DP (every sink
+/// required positive, so inverters come in pairs), with the skew measured
+/// post hoc by the forward evaluator.
+fn cts_inverters(
+    flags: &Flags,
+    tree: &fastbuf_rctree::RoutingTree,
+    lib: &fastbuf_buflib::BufferLibrary,
+    algo: Algorithm,
+    max_skew: Option<Seconds>,
+) -> Result<(), CliError> {
+    let mut solver = PolaritySolver::new(tree, lib).algorithm(algo);
+    for sink in tree.sinks() {
+        solver
+            .require(sink, Polarity::Positive)
+            .map_err(|e| CliError::from(fastbuf_api::SolveError::Polarity(e)))?;
+    }
+    let sol = solver
+        .solve()
+        .map_err(|e| CliError::from(fastbuf_api::SolveError::Polarity(e)))?;
+    if !flags.switch("no-verify") {
+        sol.verify(tree, lib)
+            .map_err(|e| CliError::from(fastbuf_api::SolveError::Polarity(e)))?;
+    }
+
+    // The polarity DP carries no arrival windows; measure the skew of the
+    // solved tree with the independent forward evaluator instead.
+    let pairs: Vec<_> = sol.placements.iter().map(|p| (p.node, p.buffer)).collect();
+    let report = elmore::evaluate(tree, lib, &pairs).map_err(|e| e.to_string())?;
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    for &(n, s) in &report.sink_slacks {
+        let arrival = match tree.kind(n) {
+            NodeKind::Sink {
+                required_arrival, ..
+            } => required_arrival.value() - s.value(),
+            _ => unreachable!("sink_slacks only lists sinks"),
+        };
+        lo = lo.min(arrival);
+        hi = hi.max(arrival);
+    }
+    let skew = Seconds::new(hi - lo);
+
+    println!("slack:     {}", sol.slack);
+    println!("skew:      {skew} (measured post hoc; the polarity DP does not bound it)");
+    println!(
+        "repeaters: {} ({} inverters)",
+        sol.placements.len(),
+        sol.inverter_count
+    );
+    if flags.switch("show-placements") {
+        for p in &sol.placements {
+            println!("  node {:>6}  buffer {}", p.node.index(), p.buffer.index());
+        }
+    }
+    if let Some(bound) = max_skew {
+        if skew > bound {
+            return Err(CliError {
+                code: 2,
+                message: format!("measured skew {skew} exceeds the bound {bound}"),
+            });
+        }
+        println!("skew met:  yes (bound {bound})");
+    }
+    Ok(())
+}

@@ -17,6 +17,7 @@ use fastbuf_rctree::{io as netio, RoutingTree};
 use crate::args::Flags;
 
 mod batch;
+mod cts;
 mod eco;
 mod frontier;
 mod gen;
@@ -66,6 +67,19 @@ const USAGE: &str = "usage:
                      --random N generates a reproducible N-edit script at
                      --locality (default 0.1); --emit-edits saves it.)
   fastbuf frontier  --net FILE --lib FILE [--max-cost W]
+  fastbuf cts       --lib FILE (--placements FILE | [--sinks N] [--seed S] [--span UM])
+                    [--pitch UM] [--max-skew PS] [--algo A] [--inverters]
+                    [--emit-placements FILE] [--show-placements] [--json FILE]
+                    [--no-verify]
+                    (clock-tree synthesis: reads `sink <x> <y> <cap> <rat>`
+                     placements (or generates --sinks of them on a --span
+                     die), builds a recursive-bipartition topology with
+                     buffer sites every --pitch um (0 = merge taps only),
+                     and solves skew-aware: skew is tracked through the
+                     candidate recursion and bounded by --max-skew; exits 2
+                     if no candidate meets the bound. --inverters routes
+                     buffering through the polarity DP instead (all sinks
+                     kept positive) and measures skew post hoc.)
   fastbuf global    --lib FILE [--nets N] [--pool N] [--sites-per-net N] [--seed S]
                     [--cap N] [--capacity FILE] [--max-iters N] [--workers N]
                     [--step-ps PS] [--growth F] [--scratch] [--algo A] [--model M]
@@ -93,13 +107,13 @@ exit codes:
   13 invalid-slew-limit | 14 unsupported | 15 cost | 16 polarity
   17 verify | 18 scenario-parse | 19 unknown-model | 20 edit
   21 no-samples | 22 invalid-quantile | 23 variation-parse
-  24 invalid-variation";
+  24 invalid-variation | 25 invalid-skew-bound";
 
 /// A CLI failure: what to print on stderr and the process exit code.
 ///
 /// Usage and validation errors exit 2, I/O failures exit 3, and typed
 /// solver errors carry the distinct per-variant codes of
-/// [`SolveError::exit_code`] (10–24) — the same mapping `fastbuf --help`
+/// [`SolveError::exit_code`] (10–25) — the same mapping `fastbuf --help`
 /// documents and the server reports as kebab-case `error.code` strings.
 #[derive(Debug)]
 pub struct CliError {
@@ -166,6 +180,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Some("batch") => batch::batch(&argv[1..]),
         Some("eco") => eco::eco(&argv[1..]),
         Some("frontier") => frontier::frontier(&argv[1..]),
+        Some("cts") => cts::cts(&argv[1..]),
         Some("global") => global::global(&argv[1..]),
         Some("serve") => serve::serve(&argv[1..]),
         Some("--help") | Some("-h") | None => {

@@ -876,3 +876,109 @@ fn solve_reports_missing_files() {
     let err = run(&argv).unwrap_err();
     assert!(err.contains("cannot read"));
 }
+
+/// `fastbuf cts` end to end: generated placements, file round-trip,
+/// skew-aware solving, JSON, the inverter path, and flag validation.
+#[test]
+fn cts_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fastbuf-cts-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let lib = dir.join("c.lib");
+    let placements = dir.join("c.sinks");
+    let json = dir.join("c.json");
+    let run_strs = |args: &[&str]| run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    run_strs(&["gen", "lib", "--size", "4", "-o", lib.to_str().unwrap()]).unwrap();
+
+    // Generated placements, emitted to a file, loose skew bound met.
+    run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--sinks",
+        "24",
+        "--seed",
+        "7",
+        "--max-skew",
+        "500",
+        "--emit-placements",
+        placements.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ])
+    .unwrap();
+    let record = fs::read_to_string(&json).unwrap();
+    for key in [
+        "\"skew_ps\"",
+        "\"latency_max_ps\"",
+        "\"skew_ok\": true",
+        "\"max_skew_ps\": 500",
+    ] {
+        assert!(record.contains(key), "{key} missing from {record}");
+    }
+
+    // The emitted placement file drives the same pipeline.
+    run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--placements",
+        placements.to_str().unwrap(),
+        "--pitch",
+        "0",
+    ])
+    .unwrap();
+
+    // Inverter-aware path.
+    run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--sinks",
+        "8",
+        "--inverters",
+    ])
+    .unwrap();
+
+    // Flag validation.
+    let err = run_strs(&["cts", "--lib", lib.to_str().unwrap(), "--sinks", "0"]).unwrap_err();
+    assert!(err.contains("--sinks"), "{err}");
+    let err = run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--placements",
+        placements.to_str().unwrap(),
+        "--sinks",
+        "4",
+    ])
+    .unwrap_err();
+    assert!(err.contains("conflicts"), "{err}");
+    let err = run_strs(&["cts", "--lib", lib.to_str().unwrap(), "--max-skew", "-5"]).unwrap_err();
+    assert!(err.contains("--max-skew"), "{err}");
+    let err = run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--sinks",
+        "8",
+        "--inverters",
+        "--json",
+        "-",
+    ])
+    .unwrap_err();
+    assert!(err.contains("--inverters"), "{err}");
+
+    // A bad placement line is a line-numbered error.
+    fs::write(&placements, "sink 0 0 nan 1000\n").unwrap();
+    let err = run_strs(&[
+        "cts",
+        "--lib",
+        lib.to_str().unwrap(),
+        "--placements",
+        placements.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -126,7 +126,11 @@ pub(crate) struct Scratch {
 /// `by_resistance_desc` order the hull walk's Lemma 1 relies on is the
 /// same ordering after scaling.
 #[inline]
-fn params(lib: &BufferLibrary, id: BufferTypeId, variation: SiteVariation) -> (f64, f64, f64, f64) {
+pub(crate) fn params(
+    lib: &BufferLibrary,
+    id: BufferTypeId,
+    variation: SiteVariation,
+) -> (f64, f64, f64, f64) {
     let b = lib.get(id);
     (
         b.driving_resistance().value() * variation.drive_scale(),

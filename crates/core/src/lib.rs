@@ -59,6 +59,7 @@ mod hull;
 mod merge;
 pub mod polarity;
 mod pool;
+pub mod skew;
 mod slab;
 mod slew;
 mod solution;
@@ -74,5 +75,6 @@ pub use engine::{Kernel, SolveWorkspace, Solver, SolverOptions};
 pub use fastbuf_rctree::delay::{DelayModel, ElmoreModel, ScaledElmoreModel};
 pub use hull::{convex_prune_in_place, prunes_middle, upper_hull_into};
 pub use merge::merge_branches;
+pub use skew::{SkewSolution, SkewSolver, WindowCandidate};
 pub use solution::{Placement, Solution, VerifyError};
 pub use stats::SolveStats;

@@ -103,6 +103,15 @@ pub enum PolarityError {
         /// Slack the forward evaluation measured.
         measured: Seconds,
     },
+    /// A requested solve configuration the polarity DP does not implement
+    /// (non-Elmore delay models, slew limits). Without this typed refusal
+    /// the solver would silently compute Elmore/unconstrained answers for
+    /// a caller who asked for something else — the same hazard
+    /// `Solution::verify` had before PR 4.
+    Unsupported {
+        /// What was requested, human-readable.
+        what: String,
+    },
 }
 
 impl fmt::Display for PolarityError {
@@ -125,6 +134,9 @@ impl fmt::Display for PolarityError {
                 f,
                 "predicted slack {predicted} but forward evaluation measured {measured}"
             ),
+            PolarityError::Unsupported { what } => {
+                write!(f, "the polarity solver does not support {what}")
+            }
         }
     }
 }
@@ -188,6 +200,10 @@ impl PolaritySolution {
 }
 
 /// Checks that `placements` deliver the required polarity to every sink.
+///
+/// Purely topological — it counts inversions along each source→sink path
+/// and never evaluates delay, so it is valid under *any* delay model
+/// (unlike [`PolaritySolver::solve`], which is Elmore-only).
 ///
 /// # Errors
 ///
@@ -293,6 +309,8 @@ pub struct PolaritySolver<'a> {
     library: &'a BufferLibrary,
     algorithm: Algorithm,
     negated: Vec<bool>,
+    delay_model: Option<std::sync::Arc<dyn fastbuf_rctree::DelayModel>>,
+    slew_limit: Option<Seconds>,
 }
 
 impl<'a> PolaritySolver<'a> {
@@ -303,6 +321,8 @@ impl<'a> PolaritySolver<'a> {
             library,
             algorithm: Algorithm::LiShi,
             negated: vec![false; tree.node_count()],
+            delay_model: None,
+            slew_limit: None,
         }
     }
 
@@ -310,6 +330,26 @@ impl<'a> PolaritySolver<'a> {
     #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Requests a delay model for the solve. The polarity DP is hard-wired
+    /// to Elmore arithmetic, so anything else makes
+    /// [`PolaritySolver::solve`] return a typed
+    /// [`PolarityError::Unsupported`] instead of silently computing Elmore
+    /// answers under the wrong name.
+    #[must_use]
+    pub fn delay_model(mut self, model: std::sync::Arc<dyn fastbuf_rctree::DelayModel>) -> Self {
+        self.delay_model = Some(model);
+        self
+    }
+
+    /// Requests a maximum output slew. The polarity DP solves
+    /// unconstrained; a limit makes [`PolaritySolver::solve`] return a
+    /// typed [`PolarityError::Unsupported`].
+    #[must_use]
+    pub fn slew_limit(mut self, limit: Option<Seconds>) -> Self {
+        self.slew_limit = limit;
         self
     }
 
@@ -341,6 +381,21 @@ impl<'a> PolaritySolver<'a> {
     /// [`PolarityError::Infeasible`] when no assignment can satisfy the
     /// polarity requirements (the root's positive list comes out empty).
     pub fn solve(&self) -> Result<PolaritySolution, PolarityError> {
+        if let Some(model) = &self.delay_model {
+            if model.name() != "elmore" {
+                return Err(PolarityError::Unsupported {
+                    what: format!(
+                        "delay model `{}` (the polarity DP is Elmore-only)",
+                        model.name()
+                    ),
+                });
+            }
+        }
+        if self.slew_limit.is_some() {
+            return Err(PolarityError::Unsupported {
+                what: "slew limits (the polarity DP solves unconstrained)".to_owned(),
+            });
+        }
         let start = Instant::now();
         let tree = self.tree;
         let lib = self.library;
@@ -571,6 +626,54 @@ mod tests {
         let mut solver = PolaritySolver::new(&tree, &lib);
         solver.require(sink, Polarity::Negative).unwrap();
         assert_eq!(solver.solve().unwrap_err(), PolarityError::Infeasible);
+    }
+
+    #[test]
+    fn non_elmore_model_is_rejected_typed() {
+        use fastbuf_rctree::{DelayModel, ScaledElmoreModel};
+        let (tree, _) = line(5, 1000.0);
+        let lib = BufferLibrary::paper_synthetic_mixed(4).unwrap();
+        let scaled: std::sync::Arc<dyn DelayModel> =
+            std::sync::Arc::new(ScaledElmoreModel::new(1.1));
+        let err = PolaritySolver::new(&tree, &lib)
+            .delay_model(scaled)
+            .solve()
+            .unwrap_err();
+        assert!(
+            matches!(&err, PolarityError::Unsupported { what } if what.contains("scaled-elmore")),
+            "{err:?}"
+        );
+        // Explicitly asking for Elmore is fine: identical to the default.
+        let elmore: std::sync::Arc<dyn DelayModel> = std::sync::Arc::new(ElmoreModel);
+        let base = PolaritySolver::new(&tree, &lib).solve().unwrap();
+        let explicit = PolaritySolver::new(&tree, &lib)
+            .delay_model(elmore)
+            .solve()
+            .unwrap();
+        assert_eq!(
+            base.slack.value().to_bits(),
+            explicit.slack.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn slew_limit_is_rejected_typed() {
+        let (tree, _) = line(5, 1000.0);
+        let lib = BufferLibrary::paper_synthetic_mixed(4).unwrap();
+        let err = PolaritySolver::new(&tree, &lib)
+            .slew_limit(Some(Seconds::from_pico(80.0)))
+            .solve()
+            .unwrap_err();
+        assert!(
+            matches!(&err, PolarityError::Unsupported { what } if what.contains("slew")),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("does not support"));
+        // `None` is the default: no refusal.
+        PolaritySolver::new(&tree, &lib)
+            .slew_limit(None)
+            .solve()
+            .unwrap();
     }
 
     #[test]

@@ -1,9 +1,36 @@
 //! Structured nets: H-trees and caterpillars.
 
+use std::error::Error;
+use std::fmt;
+
 use fastbuf_buflib::units::{Farads, Microns, Ohms, Seconds};
 use fastbuf_buflib::{Driver, Technology};
 use fastbuf_rctree::segment::segment_by_pitch;
 use fastbuf_rctree::{NodeId, RoutingTree, TreeBuilder, Wire};
+
+/// A degenerate parameter in a structured-net spec, naming the offending
+/// field. The panicking constructors ([`HTreeSpec::build`],
+/// [`caterpillar_net`]) panic with this error's message; the `try_` forms
+/// return it instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClockSpecError {
+    /// The spec field that was rejected.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ClockSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`: {}", self.field, self.message)
+    }
+}
+
+impl Error for ClockSpecError {}
+
+fn reject(field: &'static str, message: &'static str) -> ClockSpecError {
+    ClockSpecError { field, message }
+}
 
 /// Specification of a symmetric H-tree (clock-distribution style).
 ///
@@ -45,13 +72,79 @@ impl Default for HTreeSpec {
 }
 
 impl HTreeSpec {
+    /// Checks the spec for degenerate parameters: zero levels, a zero /
+    /// negative / non-finite arm or segmenting pitch, a non-positive
+    /// driver, or non-finite sink pin data. (A technology with *zero*
+    /// per-micron parasitics is deliberately allowed — it builds ideal
+    /// zero-RC wires, which the solvers treat as free and handle exactly.)
+    ///
+    /// # Errors
+    ///
+    /// [`ClockSpecError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ClockSpecError> {
+        if self.levels == 0 {
+            return Err(reject("levels", "an H-tree needs at least one level"));
+        }
+        if !self.arm.value().is_finite() || self.arm <= Microns::ZERO {
+            return Err(reject(
+                "arm",
+                "arm length must be strictly positive and finite",
+            ));
+        }
+        if !self.driver_resistance.value().is_finite() || self.driver_resistance <= Ohms::ZERO {
+            return Err(reject(
+                "driver_resistance",
+                "driver resistance must be strictly positive and finite",
+            ));
+        }
+        if !self.sink_capacitance.is_finite() || self.sink_capacitance < Farads::ZERO {
+            return Err(reject(
+                "sink_capacitance",
+                "sink capacitance must be finite and non-negative",
+            ));
+        }
+        if !self.required_arrival.value().is_finite() {
+            return Err(reject(
+                "required_arrival",
+                "required arrival must be finite",
+            ));
+        }
+        if let Some(pitch) = self.site_pitch {
+            if !pitch.value().is_finite() || pitch <= Microns::ZERO {
+                return Err(reject(
+                    "site_pitch",
+                    "segmenting pitch must be strictly positive and finite",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the H-tree, rejecting degenerate specs with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// See [`HTreeSpec::validate`].
+    pub fn try_build(&self) -> Result<RoutingTree, ClockSpecError> {
+        self.validate()?;
+        Ok(self.build_unchecked())
+    }
+
     /// Builds the H-tree.
     ///
     /// # Panics
     ///
-    /// Panics if `levels == 0`.
+    /// Panics on any spec [`HTreeSpec::validate`] rejects (historically
+    /// only `levels == 0`; zero or non-finite geometry now panics too
+    /// instead of silently building a zero-wire tree).
     pub fn build(&self) -> RoutingTree {
-        assert!(self.levels > 0, "an H-tree needs at least one level");
+        match self.try_build() {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn build_unchecked(&self) -> RoutingTree {
         let mut b = TreeBuilder::new();
         let src = b.source(Driver::new(self.driver_resistance));
         let root_len = self.arm;
@@ -125,9 +218,44 @@ pub fn h_tree(levels: usize) -> RoutingTree {
 ///
 /// # Panics
 ///
-/// Panics if `sinks == 0`.
+/// Panics on the specs [`try_caterpillar_net`] rejects (historically only
+/// `sinks == 0`; negative or non-finite geometry now panics too).
 pub fn caterpillar_net(sinks: usize, spacing: Microns, stub: Microns) -> RoutingTree {
-    assert!(sinks > 0, "a net needs at least one sink");
+    match try_caterpillar_net(sinks, spacing, stub) {
+        Ok(tree) => tree,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`caterpillar_net`] with typed rejection of degenerate parameters:
+/// `sinks == 0`, or negative / non-finite spacing or stub length. *Zero*
+/// spacing or stub is normalized, not rejected — it builds legal zero-RC
+/// wires (all taps electrically coincident), a shape the solvers handle
+/// exactly and `tests/degenerate_nets.rs` pins.
+///
+/// # Errors
+///
+/// [`ClockSpecError`] naming the first offending parameter.
+pub fn try_caterpillar_net(
+    sinks: usize,
+    spacing: Microns,
+    stub: Microns,
+) -> Result<RoutingTree, ClockSpecError> {
+    if sinks == 0 {
+        return Err(reject("sinks", "a net needs at least one sink"));
+    }
+    if !spacing.value().is_finite() || spacing < Microns::ZERO {
+        return Err(reject(
+            "spacing",
+            "tap spacing must be finite and non-negative",
+        ));
+    }
+    if !stub.value().is_finite() || stub < Microns::ZERO {
+        return Err(reject(
+            "stub",
+            "stub length must be finite and non-negative",
+        ));
+    }
     let tech = Technology::tsmc180_like();
     let mut b = TreeBuilder::new();
     let src = b.source(Driver::new(Ohms::new(180.0)));
@@ -144,7 +272,7 @@ pub fn caterpillar_net(sinks: usize, spacing: Microns, stub: Microns) -> Routing
             .expect("fresh sink");
         prev = tap;
     }
-    b.build().expect("caterpillar is structurally valid")
+    Ok(b.build().expect("caterpillar is structurally valid"))
 }
 
 #[cfg(test)]
@@ -193,6 +321,90 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn zero_levels_panics() {
         let _ = h_tree(0);
+    }
+
+    #[test]
+    fn degenerate_h_tree_specs_fail_typed() {
+        let err = HTreeSpec {
+            levels: 0,
+            ..HTreeSpec::default()
+        }
+        .try_build()
+        .unwrap_err();
+        assert_eq!(err.field, "levels");
+        // NaN is unrepresentable in unit types (constructor asserts), so the
+        // degenerate non-finite case a caller can actually hand us is infinity.
+        for arm in [
+            Microns::ZERO,
+            Microns::new(-1.0),
+            Microns::new(f64::INFINITY),
+        ] {
+            let err = HTreeSpec {
+                arm,
+                ..HTreeSpec::default()
+            }
+            .try_build()
+            .unwrap_err();
+            assert_eq!(err.field, "arm", "{err}");
+        }
+        let err = HTreeSpec {
+            site_pitch: Some(Microns::ZERO),
+            ..HTreeSpec::default()
+        }
+        .try_build()
+        .unwrap_err();
+        assert_eq!(err.field, "site_pitch");
+        assert!(err.to_string().contains("site_pitch"), "{err}");
+        let err = HTreeSpec {
+            driver_resistance: Ohms::ZERO,
+            ..HTreeSpec::default()
+        }
+        .try_build()
+        .unwrap_err();
+        assert_eq!(err.field, "driver_resistance");
+        let err = HTreeSpec {
+            sink_capacitance: Farads::new(f64::INFINITY),
+            ..HTreeSpec::default()
+        }
+        .try_build()
+        .unwrap_err();
+        assert_eq!(err.field, "sink_capacitance");
+        let err = HTreeSpec {
+            required_arrival: Seconds::new(f64::NEG_INFINITY),
+            ..HTreeSpec::default()
+        }
+        .try_build()
+        .unwrap_err();
+        assert_eq!(err.field, "required_arrival");
+        // The happy path still builds.
+        assert_eq!(HTreeSpec::default().try_build().unwrap().sink_count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_arm_panics_instead_of_building_a_zero_wire_tree() {
+        let _ = HTreeSpec {
+            arm: Microns::ZERO,
+            ..HTreeSpec::default()
+        }
+        .build();
+    }
+
+    #[test]
+    fn degenerate_caterpillars_normalize_or_fail_typed() {
+        let err = try_caterpillar_net(0, Microns::new(100.0), Microns::new(10.0)).unwrap_err();
+        assert_eq!(err.field, "sinks");
+        let err = try_caterpillar_net(4, Microns::new(-1.0), Microns::new(10.0)).unwrap_err();
+        assert_eq!(err.field, "spacing");
+        let err =
+            try_caterpillar_net(4, Microns::new(100.0), Microns::new(f64::INFINITY)).unwrap_err();
+        assert_eq!(err.field, "stub");
+        // Normalized survivors: single sink, and zero-length wires.
+        let single = try_caterpillar_net(1, Microns::new(100.0), Microns::new(10.0)).unwrap();
+        assert_eq!(single.sink_count(), 1);
+        let zero = try_caterpillar_net(3, Microns::ZERO, Microns::ZERO).unwrap();
+        assert_eq!(zero.sink_count(), 3);
+        assert_eq!(zero.stats().total_length, Some(Microns::ZERO));
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //!   per-sample absolute edit scripts for Monte-Carlo yield solving;
 //! * [`shared`] — fleets of nets contending for a *shared* pool of
 //!   physical buffer sites ([`SharedSuiteSpec`]), plus the site-capacity
-//!   text format, for the design-level pricing loop (`fastbuf-global`).
+//!   text format, for the design-level pricing loop (`fastbuf-global`);
+//! * [`cts`] — 2-D sink placements ([`CtsPlacementSpec`], a text format)
+//!   and recursive-bipartition clock topology generation
+//!   ([`build_topology`]) for the skew-aware CTS pipeline (`fastbuf cts`).
 //!
 //! Everything is seeded and deterministic: the same spec always builds the
 //! same net, so benchmark tables are reproducible run to run.
@@ -41,6 +44,7 @@
 #![deny(missing_debug_implementations)]
 
 mod clock;
+pub mod cts;
 pub mod eco;
 mod line;
 mod random;
@@ -48,7 +52,11 @@ pub mod shared;
 mod suite;
 pub mod variation;
 
-pub use clock::{caterpillar_net, h_tree, HTreeSpec};
+pub use clock::{caterpillar_net, h_tree, try_caterpillar_net, ClockSpecError, HTreeSpec};
+pub use cts::{
+    build_topology, parse_placements, write_placements, CtsPlacementSpec, CtsTopology,
+    CtsTopologySpec, SinkPlacement,
+};
 pub use line::{line_net, LineNetSpec};
 pub use random::{RandomNetSpec, RatPolicy};
 pub use shared::{parse_capacity, write_capacity, SharedNet, SharedSuiteSpec};

@@ -79,6 +79,7 @@ pub use fastbuf_server as server;
 
 pub use fastbuf_core::cost;
 pub use fastbuf_core::polarity;
+pub use fastbuf_core::skew;
 pub use fastbuf_core::{
     convex_prune_in_place, merge_branches, prunes_middle, upper_hull_into, Algorithm, Candidate,
     CandidateList, DelayModel, ElmoreModel, Kernel, Placement, PredArena, PredEntry, PredRef,
@@ -100,6 +101,7 @@ pub mod prelude {
     };
     pub use fastbuf_core::cost::CostSolver;
     pub use fastbuf_core::polarity::{Polarity, PolaritySolver};
+    pub use fastbuf_core::skew::{SkewSolution, SkewSolver};
     pub use fastbuf_core::{
         Algorithm, DelayModel, ElmoreModel, Kernel, ScaledElmoreModel, Solution, SolveWorkspace,
         Solver, SolverOptions, SubtreeCache,
